@@ -1,0 +1,34 @@
+//! Benchmarks for Ch. 7: SSS clustering and greedy barrier construction
+//! (Tables 7.1/7.2, Figs. 7.4–7.7 hot paths).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpm_barriers::greedy::greedy_adaptive_barrier;
+use hpm_barriers::sss::sss_clusters;
+use hpm_core::matrix::DMat;
+use hpm_core::predictor::CommCosts;
+
+fn two_scale_costs(p: usize, nodes: usize) -> CommCosts {
+    let l = DMat::from_fn(p, p, |i, j| {
+        if i == j { 0.0 } else if i % nodes == j % nodes { 1e-6 } else { 1e-5 }
+    });
+    let o = DMat::from_fn(p, p, |i, j| if i == j { 3e-7 } else { 5e-7 });
+    CommCosts::new(o, l, DMat::zeros(p, p))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adaptive");
+    g.sample_size(20);
+    let costs60 = two_scale_costs(60, 8);
+    g.bench_function("sss_clusters_60", |b| b.iter(|| sss_clusters(&costs60.l)));
+    g.bench_function("greedy_adaptive_60", |b| {
+        b.iter(|| greedy_adaptive_barrier(&costs60))
+    });
+    let costs115 = two_scale_costs(115, 10);
+    g.bench_function("greedy_adaptive_115", |b| {
+        b.iter(|| greedy_adaptive_barrier(&costs115))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Benchmarks for the Ch. 5 predictor: pattern construction, knowledge
+//! verification and critical-path prediction (Figs. 5.2–5.13 hot paths).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpm_barriers::patterns::{binary_tree, dissemination, linear};
+use hpm_core::knowledge::verify_synchronizes;
+use hpm_core::predictor::{predict_barrier, CommCosts, PayloadSchedule};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier_predict");
+    g.sample_size(20);
+    let costs = CommCosts::uniform(144, 3e-7, 5e-7, 9e-6);
+    for (name, pat) in [
+        ("dissemination_144", dissemination(144)),
+        ("tree_144", binary_tree(144)),
+        ("linear_144", linear(144, 0)),
+    ] {
+        g.bench_function(format!("predict_{name}"), |b| {
+            b.iter(|| predict_barrier(&pat, &costs, &PayloadSchedule::none()))
+        });
+        g.bench_function(format!("verify_{name}"), |b| {
+            b.iter(|| verify_synchronizes(&pat))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

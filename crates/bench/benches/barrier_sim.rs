@@ -1,0 +1,34 @@
+//! Benchmarks for the simulated barrier executor (Figs. 5.6/5.10
+//! measurement side).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpm_barriers::patterns::{dissemination, linear};
+use hpm_core::predictor::PayloadSchedule;
+use hpm_simnet::barrier::BarrierSim;
+use hpm_simnet::microbench::{bench_platform, MicrobenchConfig};
+use hpm_simnet::params::xeon_cluster_params;
+use hpm_topology::{cluster_8x2x4, Placement, PlacementPolicy};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier_sim");
+    g.sample_size(10);
+    let params = xeon_cluster_params();
+    let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 64);
+    let sim = BarrierSim::new(&params, &placement);
+    let d = dissemination(64);
+    let l = linear(64, 0);
+    g.bench_function("measure_dissemination_64_x16", |b| {
+        b.iter(|| sim.measure(&d, &PayloadSchedule::none(), 16, 3))
+    });
+    g.bench_function("measure_linear_64_x16", |b| {
+        b.iter(|| sim.measure(&l, &PayloadSchedule::none(), 16, 3))
+    });
+    g.bench_function("microbench_platform_p16", |b| {
+        let small = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 16);
+        b.iter(|| bench_platform(&params, &small, &MicrobenchConfig::quick(), 5))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

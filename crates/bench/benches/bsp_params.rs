@@ -1,0 +1,32 @@
+//! Benchmarks for the §3.1 experiments: bspbench parameter extraction and
+//! the bspinprod computation (Table 3.1, Fig. 3.2 hot paths).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpm_bsplib::bench::bspbench;
+use hpm_bsplib::inprod::bspinprod;
+use hpm_bsplib::runtime::BspConfig;
+use hpm_kernels::rate::xeon_core;
+use hpm_simnet::params::xeon_cluster_params;
+use hpm_topology::{cluster_8x2x4, Placement, PlacementPolicy};
+
+fn cfg(p: usize) -> BspConfig {
+    BspConfig::new(
+        xeon_cluster_params(),
+        Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, p),
+        xeon_core(),
+        7,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bsp_params");
+    g.sample_size(10);
+    g.bench_function("bspbench_p16", |b| b.iter(|| bspbench(&cfg(16))));
+    g.bench_function("bspinprod_p16_n1e6", |b| {
+        b.iter(|| bspinprod(&cfg(16), 1_000_000, 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

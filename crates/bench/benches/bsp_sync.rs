@@ -1,0 +1,30 @@
+//! Benchmarks for the Ch. 6 synchronization: payload-carrying barrier
+//! simulation and prediction (Figs. 6.3/6.4 hot paths).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpm_barriers::patterns::dissemination;
+use hpm_core::predictor::{predict_barrier, CommCosts, PayloadSchedule};
+use hpm_simnet::barrier::BarrierSim;
+use hpm_simnet::params::xeon_cluster_params;
+use hpm_topology::{cluster_8x2x4, Placement, PlacementPolicy};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bsp_sync");
+    g.sample_size(10);
+    let params = xeon_cluster_params();
+    let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 64);
+    let sim = BarrierSim::new(&params, &placement);
+    let pat = dissemination(64);
+    let payload = PayloadSchedule::dissemination_count_map(64);
+    g.bench_function("sync_with_count_map_64_x16", |b| {
+        b.iter(|| sim.measure(&pat, &payload, 16, 9))
+    });
+    let costs = CommCosts::uniform(64, 3e-7, 5e-7, 9e-6);
+    g.bench_function("predict_sync_with_payload_64", |b| {
+        b.iter(|| predict_barrier(&pat, &costs, &payload))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

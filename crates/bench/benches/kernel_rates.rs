@@ -1,0 +1,27 @@
+//! Benchmarks for the Ch. 4 kernel substrate: raw kernel applications and
+//! the profiling harness (Figs. 4.2–4.6 hot paths).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpm_kernels::blas1::{Axpy, Dot};
+use hpm_kernels::harness::{profile_kernel, BenchConfig};
+use hpm_kernels::kernel::Kernel;
+use hpm_kernels::stencil::Stencil5;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_rates");
+    g.sample_size(20);
+    let mut ax = Axpy.alloc(1024);
+    g.bench_function("axpy_1024", |b| b.iter(|| Axpy.apply(&mut ax)));
+    let mut dt = Dot.alloc(1024);
+    g.bench_function("dot_1024", |b| b.iter(|| Dot.apply(&mut dt)));
+    let mut st = Stencil5.alloc(1024);
+    g.bench_function("stencil5_32x32", |b| b.iter(|| Stencil5.apply(&mut st)));
+    g.sample_size(10);
+    g.bench_function("profile_axpy_quick", |b| {
+        b.iter(|| profile_kernel(&Axpy, &BenchConfig::quick(256)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Benchmarks for the Ch. 8 stencil implementations (A-series and
+//! Table 8.2 hot paths).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpm_bsplib::runtime::BspConfig;
+use hpm_kernels::rate::xeon_core;
+use hpm_simnet::params::xeon_cluster_params;
+use hpm_stencil::bsp::{run_bsp_stencil, CommitDiscipline};
+use hpm_stencil::mpi::{run_mpi_stencil, MpiVariant};
+use hpm_topology::{cluster_8x2x4, Placement, PlacementPolicy};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stencil");
+    g.sample_size(10);
+    let params = xeon_cluster_params();
+    let model = xeon_core();
+    let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 16);
+    g.bench_function("bsp_stencil_p16_n2048_x2", |b| {
+        let cfg = BspConfig::new(params.clone(), placement.clone(), model.clone(), 3);
+        b.iter(|| run_bsp_stencil(&cfg, 2048, 2, CommitDiscipline::EarlyUnbuffered, false))
+    });
+    g.bench_function("mpi_stencil_p16_n2048_x2", |b| {
+        b.iter(|| {
+            run_mpi_stencil(&params, &placement, &model, 2048, 2,
+                MpiVariant::Blocking2Stage, 1.0, 3)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Benchmarks for the Ch. 8 model assembly: the B-series predictor and
+//! the C1 ghost-width optimizer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpm_kernels::rate::xeon_core;
+use hpm_simnet::microbench::{bench_platform, MicrobenchConfig};
+use hpm_simnet::params::xeon_cluster_params;
+use hpm_stencil::overlap_opt::predict_ghost_width;
+use hpm_stencil::predictor::predict_bsp_iteration;
+use hpm_topology::{cluster_8x2x4, Placement, PlacementPolicy};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stencil_predict");
+    g.sample_size(10);
+    let params = xeon_cluster_params();
+    let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 64);
+    let profile = bench_platform(&params, &placement, &MicrobenchConfig::quick(), 3);
+    let model = xeon_core();
+    g.bench_function("predict_bsp_iteration_p64", |b| {
+        b.iter(|| predict_bsp_iteration(&profile, &model, &placement, 2048))
+    });
+    g.bench_function("predict_ghost_width_p64_w4", |b| {
+        b.iter(|| predict_ghost_width(&profile, &model, &placement, 2048, 4))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

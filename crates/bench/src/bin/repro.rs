@@ -1,0 +1,64 @@
+//! `repro` — regenerate the thesis' tables and figures.
+//!
+//! ```text
+//! repro list                 # show all experiment ids
+//! repro <id> [<id> ...]      # run selected experiments
+//! repro all                  # run everything (what EXPERIMENTS.md records)
+//! repro all --quick          # smoke-test resolution
+//! ```
+//!
+//! Output CSV/text files land in `results/` (override with `--out DIR`).
+
+use hpm_bench::experiments::{registry, run_experiment, Effort};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+    let mut out_dir = PathBuf::from("results");
+    let mut effort = Effort::standard();
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out_dir = PathBuf::from(it.next().expect("--out needs a directory"));
+            }
+            "--quick" => effort = Effort::quick(),
+            "list" => {
+                for (id, desc, _) in registry() {
+                    println!("{id:<10} {desc}");
+                }
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.iter().any(|s| s == "all") {
+        ids = registry().iter().map(|(id, _, _)| id.to_string()).collect();
+    }
+    let t0 = std::time::Instant::now();
+    for id in &ids {
+        let start = std::time::Instant::now();
+        match run_experiment(id, &out_dir, &effort) {
+            Some(paths) => {
+                let secs = start.elapsed().as_secs_f64();
+                for p in paths {
+                    println!("[{id}] wrote {} ({secs:.1}s)", p.display());
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (try `repro list`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!("done: {} experiments in {:.1}s", ids.len(), t0.elapsed().as_secs_f64());
+}
+
+fn usage() {
+    eprintln!("usage: repro [--out DIR] [--quick] (list | all | <id> ...)");
+}

@@ -1,0 +1,810 @@
+//! Every thesis table and figure as a runnable experiment.
+//!
+//! Ids follow the thesis numbering (`table3_1`, `fig5_6`, …). Each
+//! experiment writes one or more CSV/text artifacts into the output
+//! directory and returns their paths. DESIGN.md carries the experiment →
+//! module map; EXPERIMENTS.md records the shape comparison against the
+//! thesis originals.
+
+use crate::output::{fmt, write_csv, write_text, CsvTable};
+use std::path::{Path, PathBuf};
+
+use hpm_barriers::greedy::greedy_adaptive_barrier;
+use hpm_barriers::hybrid::flat_dissemination_hybrid;
+use hpm_barriers::patterns::{binary_tree, dissemination, linear};
+use hpm_barriers::sss::sss_clusters;
+use hpm_bsplib::bench::bspbench;
+use hpm_bsplib::inprod::bspinprod;
+use hpm_bsplib::runtime::BspConfig;
+use hpm_core::classic::ClassicBsp;
+use hpm_core::pattern::BarrierPattern;
+use hpm_core::predictor::{predict_barrier, PayloadSchedule};
+use hpm_core::superstep::SuperstepModel;
+use hpm_kernels::blas1::Axpy;
+use hpm_kernels::harness::{profile_kernel, BenchConfig, WallClock};
+use hpm_kernels::kernel::Kernel;
+use hpm_kernels::rate::{opteron_core, xeon_core, ProcessorModel};
+use hpm_kernels::stencil::Stencil5;
+use hpm_kernels::{blas1_suite, harness::BatchTimer};
+use hpm_simnet::barrier::BarrierSim;
+use hpm_simnet::microbench::{bench_platform, MicrobenchConfig, PlatformProfile};
+use hpm_simnet::params::{opteron_cluster_params, xeon_cluster_params, PlatformParams};
+use hpm_stats::quantile::median;
+use hpm_stencil::bsp::{run_bsp_stencil, CommitDiscipline};
+use hpm_stencil::configs::{render_table_8_1, LARGE_N, SMALL_N};
+use hpm_stencil::hybrid::run_hybrid_stencil;
+use hpm_stencil::mpi::{run_mpi_stencil, MpiVariant};
+use hpm_stencil::overlap_opt::optimize_ghost_width;
+use hpm_stencil::predictor::predict_bsp_iteration;
+use hpm_topology::{cluster_10x2x6, cluster_12x2x6, cluster_8x2x4, Placement, PlacementPolicy};
+
+const SEED: u64 = 20121116; // thesis submission month
+
+/// How hard to work: full figure resolution or a smoke-test subset.
+#[derive(Debug, Clone, Copy)]
+pub struct Effort {
+    /// Process-count stride on the 8×2×4 cluster sweeps.
+    pub stride_small: usize,
+    /// Process-count stride on the 12×2×6 cluster sweeps.
+    pub stride_large: usize,
+    /// Barrier repetitions per measured point (thesis: 256).
+    pub barrier_reps: usize,
+    /// Repetitions for bspinprod medians.
+    pub inprod_reps: usize,
+    /// Jacobi iterations per stencil timing.
+    pub stencil_iters: usize,
+    /// Microbenchmark dimensions.
+    pub micro: MicrobenchConfig,
+    /// Host-clock repetitions for the Ch. 4 experiments.
+    pub host_reps: usize,
+}
+
+impl Effort {
+    /// Figure-resolution settings (what `repro all` uses).
+    pub fn standard() -> Effort {
+        Effort {
+            stride_small: 1,
+            stride_large: 3,
+            barrier_reps: 64,
+            inprod_reps: 5,
+            stencil_iters: 4,
+            micro: MicrobenchConfig {
+                reps: 7,
+                max_requests: 4,
+                size_exponents: (0, 14),
+            },
+            host_reps: 8,
+        }
+    }
+
+    /// Smoke-test settings (used by integration tests).
+    pub fn quick() -> Effort {
+        Effort {
+            stride_small: 16,
+            stride_large: 48,
+            barrier_reps: 4,
+            inprod_reps: 1,
+            stencil_iters: 2,
+            micro: MicrobenchConfig {
+                reps: 3,
+                max_requests: 2,
+                size_exponents: (0, 8),
+            },
+            host_reps: 2,
+        }
+    }
+}
+
+fn xeon_cfg(p: usize, seed: u64) -> BspConfig {
+    BspConfig::new(
+        xeon_cluster_params(),
+        Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, p),
+        xeon_core(),
+        seed,
+    )
+}
+
+fn profile_of(
+    params: &PlatformParams,
+    placement: &Placement,
+    effort: &Effort,
+) -> PlatformProfile {
+    bench_platform(params, placement, &effort.micro, SEED)
+}
+
+fn std_patterns(p: usize) -> Vec<(&'static str, BarrierPattern)> {
+    vec![
+        ("D", dissemination(p)),
+        ("T", binary_tree(p)),
+        ("L", linear(p, 0)),
+    ]
+}
+
+// ---------------------------------------------------------------- Ch. 3
+
+/// Table 3.1: BSPBench parameter values on the 8-way 2×4-core cluster.
+pub fn table3_1(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    let mut t = CsvTable::new(&["P", "r_mflops", "g_flops", "l_flops"]);
+    for p in (8..=64).step_by(8.max(effort.stride_small * 8)) {
+        let r = bspbench(&xeon_cfg(p, SEED));
+        t.push(vec![
+            p.to_string(),
+            format!("{:.3}", r.r / 1e6),
+            format!("{:.1}", r.g),
+            format!("{:.1}", r.l),
+        ]);
+    }
+    vec![write_csv(dir, "table3_1", &t)]
+}
+
+/// Fig. 3.2: inner product timings vs classic BSP estimates.
+pub fn fig3_2(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    let n = 100_000_000u64;
+    let mut t = CsvTable::new(&["P", "measured_s", "bsp_estimate_s"]);
+    for p in (8..=64).step_by(8.max(effort.stride_small * 8)) {
+        let bench = bspbench(&xeon_cfg(p, SEED));
+        let classic = ClassicBsp::new(p, bench.r, bench.g, bench.l);
+        let measured = bspinprod(&xeon_cfg(p, SEED + 1), n, effort.inprod_reps);
+        t.push(vec![
+            p.to_string(),
+            fmt(measured.seconds),
+            fmt(classic.inner_product_seconds(n)),
+        ]);
+    }
+    vec![write_csv(dir, "fig3_2", &t)]
+}
+
+// ---------------------------------------------------------------- Ch. 4
+// These run against the host wall clock: they are the genuinely measured
+// part of the reproduction.
+
+/// Fig. 4.2: bspbench-style computation rates vs vector size (host).
+pub fn fig4_2(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    let mut t = CsvTable::new(&["vector_size", "mflops"]);
+    let mut timer = WallClock::default();
+    for e in 0..=10u32 {
+        let n = 1usize << e;
+        let mut state = Axpy.alloc(n);
+        let reps = (1 << 22) / n.max(1) as u64 + 1;
+        let samples: Vec<f64> = (0..effort.host_reps)
+            .map(|_| timer.time_batch(&Axpy, &mut state, reps))
+            .collect();
+        let secs = median(&samples) / reps as f64;
+        t.push(vec![n.to_string(), format!("{:.2}", Axpy.flops(n) / secs / 1e6)]);
+    }
+    vec![write_csv(dir, "fig4_2", &t)]
+}
+
+/// Figs. 4.3/4.4: per-kernel predictions vs actual host time, and the
+/// relative misprediction, for DAXPY and the 5-point stencil at 1024
+/// elements.
+pub fn fig4_3_4_4(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    let cfg = BenchConfig {
+        n: 1024,
+        samples: effort.host_reps.max(4),
+        confidence: 0.95,
+        max_passes: 4,
+        iter_exponents: (2, 10),
+    };
+    let kernels: Vec<(&str, Box<dyn Kernel>)> =
+        vec![("D", Box::new(Axpy)), ("5P", Box::new(Stencil5))];
+    let mut pred = CsvTable::new(&["iterations", "D_pred", "D_act", "5P_pred", "5P_act"]);
+    let mut rel = CsvTable::new(&["iterations", "D_rel", "5P_rel"]);
+    let profiles: Vec<_> = kernels
+        .iter()
+        .map(|(_, k)| profile_kernel(k.as_ref(), &cfg))
+        .collect();
+    let mut timer = WallClock::default();
+    let exps: Vec<u32> = (2..=18).step_by(2).collect();
+    for &e in &exps {
+        let iters = 1u64 << e;
+        let mut row = vec![iters.to_string()];
+        let mut rrow = vec![iters.to_string()];
+        for ((_, k), prof) in kernels.iter().zip(profiles.iter()) {
+            let mut state = k.alloc(1024);
+            let actual = timer.time_batch(k.as_ref(), &mut state, iters);
+            let predicted = prof.predict(iters);
+            row.push(fmt(predicted));
+            row.push(fmt(actual));
+            rrow.push(format!("{:.4}", (predicted - actual).abs() / actual));
+        }
+        pred.push(row);
+        rel.push(rrow);
+    }
+    vec![
+        write_csv(dir, "fig4_3", &pred),
+        write_csv(dir, "fig4_4", &rel),
+    ]
+}
+
+fn blas_sweep(dir: &Path, name: &str, sizes: &[usize], reps: usize) -> PathBuf {
+    let suite = blas1_suite();
+    let mut header: Vec<String> = vec!["bytes".into()];
+    header.extend(suite.iter().map(|k| k.name().to_string()));
+    let mut t = CsvTable {
+        header,
+        rows: Vec::new(),
+    };
+    let mut timer = WallClock::default();
+    for &n in sizes {
+        // Report the footprint of the two-vector kernels for the x axis;
+        // per-kernel footprints differ (scal touches one vector), which is
+        // exactly the comparability the byte metric provides (§4.2).
+        let mut row = vec![(2 * n * 8).to_string()];
+        for k in &suite {
+            let mut state = k.alloc(n);
+            let inner = (1usize << 22) / n.max(1) + 1;
+            let samples: Vec<f64> = (0..reps)
+                .map(|_| timer.time_batch(k.as_ref(), &mut state, inner as u64) / inner as f64)
+                .collect();
+            row.push(fmt(median(&samples)));
+        }
+        t.push(row);
+    }
+    write_csv(dir, name, &t)
+}
+
+/// Fig. 4.5: L1 BLAS timings for in-cache problem sizes (host).
+pub fn fig4_5(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    let sizes: Vec<usize> = (1..=8).map(|k| k * 512).collect(); // ≤ 64 KiB
+    vec![blas_sweep(dir, "fig4_5", &sizes, effort.host_reps)]
+}
+
+/// Fig. 4.6: L1 BLAS timings through and past the cache knee (host).
+pub fn fig4_6(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    let sizes: Vec<usize> = (1..=10).map(|k| k * 3200).collect(); // to 512 KB
+    vec![blas_sweep(dir, "fig4_6", &sizes, effort.host_reps)]
+}
+
+// ---------------------------------------------------------------- Ch. 5
+
+/// Figs. 5.2–5.4: the 4-process barrier patterns in matrix form.
+pub fn fig5_2_3_4(dir: &Path, _effort: &Effort) -> Vec<PathBuf> {
+    let mut text = String::new();
+    for (label, pat) in [
+        ("Fig 5.2: linear", linear(4, 0)),
+        ("Fig 5.3: dissemination", dissemination(4)),
+        ("Fig 5.4: binary tree", binary_tree(4)),
+    ] {
+        text.push_str(&format!("{label}\n{}\n", pat.render()));
+    }
+    vec![write_text(dir, "fig5_2_3_4", &text)]
+}
+
+/// Shared sweep for Figs. 5.6–5.9 / 5.10–5.13: measured and predicted
+/// barrier timings with absolute and relative error columns.
+fn barrier_sweep(
+    dir: &Path,
+    prefix: &str,
+    params: &PlatformParams,
+    shape: hpm_topology::ClusterShape,
+    stride: usize,
+    effort: &Effort,
+) -> Vec<PathBuf> {
+    let max = shape.total_cores();
+    let mut measured = CsvTable::new(&["P", "D", "T", "L"]);
+    let mut predicted = CsvTable::new(&["P", "D", "T", "L"]);
+    let mut abs_err = CsvTable::new(&["P", "D", "T", "L"]);
+    let mut rel_err = CsvTable::new(&["P", "D", "T", "L"]);
+    let mut p = 2;
+    while p <= max {
+        let placement = Placement::new(shape, PlacementPolicy::RoundRobin, p);
+        let profile = profile_of(params, &placement, effort);
+        let sim = BarrierSim::new(params, &placement);
+        let mut m_row = vec![p.to_string()];
+        let mut p_row = vec![p.to_string()];
+        let mut a_row = vec![p.to_string()];
+        let mut r_row = vec![p.to_string()];
+        for (_, pat) in std_patterns(p) {
+            let meas = sim
+                .measure(&pat, &PayloadSchedule::none(), effort.barrier_reps, SEED)
+                .mean();
+            let pred = predict_barrier(&pat, &profile.costs, &PayloadSchedule::none()).total;
+            m_row.push(fmt(meas));
+            p_row.push(fmt(pred));
+            a_row.push(fmt(pred - meas));
+            r_row.push(format!("{:.4}", (pred - meas) / meas));
+        }
+        measured.push(m_row);
+        predicted.push(p_row);
+        abs_err.push(a_row);
+        rel_err.push(r_row);
+        p += stride;
+    }
+    vec![
+        write_csv(dir, &format!("{prefix}_measured"), &measured),
+        write_csv(dir, &format!("{prefix}_predicted"), &predicted),
+        write_csv(dir, &format!("{prefix}_abs_error"), &abs_err),
+        write_csv(dir, &format!("{prefix}_rel_error"), &rel_err),
+    ]
+}
+
+/// Figs. 5.6–5.9 on the 8×2×4 cluster.
+pub fn fig5_6_to_5_9(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    barrier_sweep(
+        dir,
+        "fig5_6to9_8x2x4",
+        &xeon_cluster_params(),
+        cluster_8x2x4(),
+        effort.stride_small,
+        effort,
+    )
+}
+
+/// Figs. 5.10–5.13 on the 12×2×6 cluster.
+pub fn fig5_10_to_5_13(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    barrier_sweep(
+        dir,
+        "fig5_10to13_12x2x6",
+        &opteron_cluster_params(),
+        cluster_12x2x6(),
+        effort.stride_large,
+        effort,
+    )
+}
+
+// ---------------------------------------------------------------- Ch. 6
+
+fn bsp_sync_sweep(
+    dir: &Path,
+    name: &str,
+    params: &PlatformParams,
+    shape: hpm_topology::ClusterShape,
+    stride: usize,
+    effort: &Effort,
+) -> Vec<PathBuf> {
+    let mut t = CsvTable::new(&["P", "measured_s", "estimate_s"]);
+    let mut p = 2;
+    while p <= shape.total_cores() {
+        let placement = Placement::new(shape, PlacementPolicy::RoundRobin, p);
+        let profile = profile_of(params, &placement, effort);
+        let sim = BarrierSim::new(params, &placement);
+        let pat = dissemination(p);
+        let payload = PayloadSchedule::dissemination_count_map(p);
+        let meas = sim.measure(&pat, &payload, effort.barrier_reps, SEED).mean();
+        let est = predict_barrier(&pat, &profile.costs, &payload).total;
+        t.push(vec![p.to_string(), fmt(meas), fmt(est)]);
+        p += stride;
+    }
+    vec![write_csv(dir, name, &t)]
+}
+
+/// Fig. 6.3: BSP sync (barrier + count-map payload) on the 8×2×4 cluster.
+pub fn fig6_3(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    bsp_sync_sweep(
+        dir,
+        "fig6_3",
+        &xeon_cluster_params(),
+        cluster_8x2x4(),
+        effort.stride_small,
+        effort,
+    )
+}
+
+/// Fig. 6.4: the same on the 12×2×6 cluster.
+pub fn fig6_4(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    bsp_sync_sweep(
+        dir,
+        "fig6_4",
+        &opteron_cluster_params(),
+        cluster_12x2x6(),
+        effort.stride_large,
+        effort,
+    )
+}
+
+// ---------------------------------------------------------------- Ch. 7
+
+fn sss_table(
+    dir: &Path,
+    name: &str,
+    params: &PlatformParams,
+    shape: hpm_topology::ClusterShape,
+    p: usize,
+    effort: &Effort,
+) -> Vec<PathBuf> {
+    let placement = Placement::new(shape, PlacementPolicy::RoundRobin, p);
+    let profile = profile_of(params, &placement, effort);
+    let clustering = sss_clusters(&profile.costs.l);
+    let mut t = CsvTable::new(&["subset", "size", "representative"]);
+    for (k, g) in clustering.groups.iter().enumerate() {
+        t.push(vec![k.to_string(), g.len().to_string(), g[0].to_string()]);
+    }
+    vec![
+        write_csv(dir, name, &t),
+        write_text(dir, &format!("{name}_detail"), &clustering.render()),
+    ]
+}
+
+/// Table 7.1: SSS clustering of 60 processes on the 8×2×4 machine.
+pub fn table7_1(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    sss_table(
+        dir,
+        "table7_1",
+        &xeon_cluster_params(),
+        cluster_8x2x4(),
+        60,
+        effort,
+    )
+}
+
+/// Table 7.2: SSS clustering of 115 processes on the 10×2×6 machine.
+pub fn table7_2(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    sss_table(
+        dir,
+        "table7_2",
+        &opteron_cluster_params(),
+        cluster_10x2x6(),
+        115,
+        effort,
+    )
+}
+
+fn hybrid_sweep(
+    dir: &Path,
+    name: &str,
+    params: &PlatformParams,
+    shape: hpm_topology::ClusterShape,
+    stride: usize,
+    effort: &Effort,
+) -> Vec<PathBuf> {
+    let mut t = CsvTable::new(&["P", "D", "T", "L", "hybrid"]);
+    let mut p = 4;
+    while p <= shape.total_cores() {
+        let placement = Placement::new(shape, PlacementPolicy::RoundRobin, p);
+        let profile = profile_of(params, &placement, effort);
+        let sim = BarrierSim::new(params, &placement);
+        let mut row = vec![p.to_string()];
+        for (_, pat) in std_patterns(p) {
+            row.push(fmt(
+                sim.measure(&pat, &PayloadSchedule::none(), effort.barrier_reps, SEED)
+                    .mean(),
+            ));
+        }
+        let clustering = sss_clusters(&profile.costs.l);
+        let hybrid = if clustering.len() > 1 && clustering.len() < p {
+            flat_dissemination_hybrid(p, &clustering.groups)
+        } else {
+            dissemination(p)
+        };
+        row.push(fmt(
+            sim.measure(&hybrid, &PayloadSchedule::none(), effort.barrier_reps, SEED)
+                .mean(),
+        ));
+        t.push(row);
+        p += stride;
+    }
+    vec![write_csv(dir, name, &t)]
+}
+
+/// Fig. 7.4: hybrid barrier vs defaults on the 8×2×4 cluster.
+pub fn fig7_4(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    hybrid_sweep(
+        dir,
+        "fig7_4",
+        &xeon_cluster_params(),
+        cluster_8x2x4(),
+        effort.stride_small.max(2),
+        effort,
+    )
+}
+
+/// Fig. 7.5: hybrid barrier vs defaults on the 12×2×6 cluster.
+pub fn fig7_5(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    hybrid_sweep(
+        dir,
+        "fig7_5",
+        &opteron_cluster_params(),
+        cluster_12x2x6(),
+        effort.stride_large,
+        effort,
+    )
+}
+
+fn adapted_sweep(
+    dir: &Path,
+    name: &str,
+    params: &PlatformParams,
+    shape: hpm_topology::ClusterShape,
+    stride: usize,
+    effort: &Effort,
+) -> Vec<PathBuf> {
+    let mut t = CsvTable::new(&["P", "adapted_meas", "best_default_meas", "adapted_pred"]);
+    let mut p = 4;
+    while p <= shape.total_cores() {
+        let placement = Placement::new(shape, PlacementPolicy::RoundRobin, p);
+        let profile = profile_of(params, &placement, effort);
+        let sim = BarrierSim::new(params, &placement);
+        let report = greedy_adaptive_barrier(&profile.costs);
+        let adapted = sim
+            .measure(&report.pattern, &PayloadSchedule::none(), effort.barrier_reps, SEED)
+            .mean();
+        let best_default = std_patterns(p)
+            .into_iter()
+            .map(|(_, pat)| {
+                sim.measure(&pat, &PayloadSchedule::none(), effort.barrier_reps, SEED)
+                    .mean()
+            })
+            .fold(f64::INFINITY, f64::min);
+        t.push(vec![
+            p.to_string(),
+            fmt(adapted),
+            fmt(best_default),
+            fmt(report.predicted_total),
+        ]);
+        p += stride;
+    }
+    vec![write_csv(dir, name, &t)]
+}
+
+/// Fig. 7.6: greedy adapted barrier vs the best default, 8×2×4.
+pub fn fig7_6(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    adapted_sweep(
+        dir,
+        "fig7_6",
+        &xeon_cluster_params(),
+        cluster_8x2x4(),
+        effort.stride_small.max(4),
+        effort,
+    )
+}
+
+/// Fig. 7.7: greedy adapted barrier vs the best default, 12×2×6.
+pub fn fig7_7(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    adapted_sweep(
+        dir,
+        "fig7_7",
+        &opteron_cluster_params(),
+        cluster_12x2x6(),
+        effort.stride_large.max(12),
+        effort,
+    )
+}
+
+// ---------------------------------------------------------------- Ch. 8
+
+/// Table 8.1: the experimental configurations.
+pub fn table8_1(dir: &Path, _effort: &Effort) -> Vec<PathBuf> {
+    vec![write_text(dir, "table8_1", &render_table_8_1())]
+}
+
+fn stencil_p_set() -> Vec<usize> {
+    vec![4, 8, 16, 32, 64]
+}
+
+/// Table 8.2: MPI and MPI+R wall times, large problem, 8×2×4 cluster.
+pub fn table8_2(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    let params = xeon_cluster_params();
+    let model = xeon_core();
+    let mut t = CsvTable::new(&["P", "MPI_s_per_iter", "MPI+R_s_per_iter"]);
+    for p in stencil_p_set() {
+        let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, p);
+        let mpi = run_mpi_stencil(
+            &params, &placement, &model, LARGE_N, effort.stencil_iters,
+            MpiVariant::Blocking2Stage, 1.0, SEED,
+        );
+        let mpir = run_mpi_stencil(
+            &params, &placement, &model, LARGE_N, effort.stencil_iters,
+            MpiVariant::EarlyRequests, 1.0, SEED,
+        );
+        t.push(vec![p.to_string(), fmt(mpi.mean_iter()), fmt(mpir.mean_iter())]);
+    }
+    vec![write_csv(dir, "table8_2", &t)]
+}
+
+fn scaling_table(dir: &Path, name: &str, n: usize, impls: &[&str], effort: &Effort) -> PathBuf {
+    let params = xeon_cluster_params();
+    let model = xeon_core();
+    let mut header = vec!["P".to_string()];
+    header.extend(impls.iter().map(|s| s.to_string()));
+    let mut t = CsvTable { header, rows: Vec::new() };
+    for p in stencil_p_set() {
+        let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, p);
+        let mut row = vec![p.to_string()];
+        for &im in impls {
+            let time = match im {
+                "BSP-hp" => run_bsp_stencil(
+                    &xeon_cfg(p, SEED), n, effort.stencil_iters,
+                    CommitDiscipline::EarlyUnbuffered, false,
+                ).mean_iter(),
+                "BSP-buf" => run_bsp_stencil(
+                    &xeon_cfg(p, SEED), n, effort.stencil_iters,
+                    CommitDiscipline::EarlyBuffered, false,
+                ).mean_iter(),
+                "BSP-late" => run_bsp_stencil(
+                    &xeon_cfg(p, SEED), n, effort.stencil_iters,
+                    CommitDiscipline::Late, false,
+                ).mean_iter(),
+                "MPI" => run_mpi_stencil(
+                    &params, &placement, &model, n, effort.stencil_iters,
+                    MpiVariant::Blocking2Stage, 1.0, SEED,
+                ).mean_iter(),
+                "MPI+R" => run_mpi_stencil(
+                    &params, &placement, &model, n, effort.stencil_iters,
+                    MpiVariant::EarlyRequests, 1.0, SEED,
+                ).mean_iter(),
+                "Hybrid" => {
+                    if p % cluster_8x2x4().cores_per_node() == 0 {
+                        run_hybrid_stencil(
+                            &params, cluster_8x2x4(), &model, n,
+                            effort.stencil_iters, p, SEED,
+                        ).mean_iter()
+                    } else {
+                        f64::NAN // hybrid uses whole nodes only
+                    }
+                }
+                other => panic!("unknown implementation {other}"),
+            };
+            row.push(if time.is_nan() { String::new() } else { fmt(time) });
+        }
+        t.push(row);
+    }
+    write_csv(dir, name, &t)
+}
+
+/// Fig. 8.4 (A1): all implementations, large problem.
+pub fn fig8_4(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    vec![scaling_table(
+        dir, "fig8_4_A1", LARGE_N,
+        &["BSP-hp", "BSP-buf", "BSP-late", "MPI", "MPI+R", "Hybrid"], effort,
+    )]
+}
+
+/// Fig. 8.5 (A2): BSP implementations only, large problem.
+pub fn fig8_5(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    vec![scaling_table(
+        dir, "fig8_5_A2", LARGE_N,
+        &["BSP-hp", "BSP-buf", "BSP-late"], effort,
+    )]
+}
+
+/// Fig. 8.6 (A3): selected implementations, small problem.
+pub fn fig8_6(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    vec![scaling_table(
+        dir, "fig8_6_A3", SMALL_N,
+        &["BSP-hp", "MPI", "MPI+R"], effort,
+    )]
+}
+
+/// Fig. 8.7 (A4): selected implementations including hybrid, small
+/// problem.
+pub fn fig8_7(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    vec![scaling_table(
+        dir, "fig8_7_A4", SMALL_N,
+        &["BSP-hp", "MPI+R", "Hybrid"], effort,
+    )]
+}
+
+/// The B-series: prediction vs measurement for the BSP stencil.
+#[allow(clippy::too_many_arguments)]
+fn prediction_sweep(
+    dir: &Path,
+    name: &str,
+    params: &PlatformParams,
+    shape: hpm_topology::ClusterShape,
+    model: &ProcessorModel,
+    n: usize,
+    discipline: CommitDiscipline,
+    effort: &Effort,
+) -> PathBuf {
+    let mut t = CsvTable::new(&["P", "predicted_s", "measured_s"]);
+    for p in stencil_p_set() {
+        if p > shape.total_cores() {
+            continue;
+        }
+        let placement = Placement::new(shape, PlacementPolicy::RoundRobin, p);
+        let profile = profile_of(params, &placement, effort);
+        let base = predict_bsp_iteration(&profile, model, &placement, n);
+        let predicted = match discipline {
+            CommitDiscipline::Late => {
+                // No overlap exposed: the sequential composition of the
+                // same terms.
+                SuperstepModel::without_overlap(
+                    base.model.comp.clone(),
+                    base.model.comm.clone(),
+                    base.sync,
+                )
+                .total()
+            }
+            _ => base.total,
+        };
+        let cfg = BspConfig::new(params.clone(), placement, model.clone(), SEED);
+        let measured =
+            run_bsp_stencil(&cfg, n, effort.stencil_iters, discipline, false).mean_iter();
+        t.push(vec![p.to_string(), fmt(predicted), fmt(measured)]);
+    }
+    write_csv(dir, name, &t)
+}
+
+/// Figs. 8.10–8.15 (B1–B6).
+pub fn fig8_10_to_8_15(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    let xeon = xeon_cluster_params();
+    let opteron = opteron_cluster_params();
+    vec![
+        prediction_sweep(dir, "fig8_10_B1", &xeon, cluster_8x2x4(), &xeon_core(),
+            LARGE_N, CommitDiscipline::EarlyUnbuffered, effort),
+        prediction_sweep(dir, "fig8_11_B2", &xeon, cluster_8x2x4(), &xeon_core(),
+            SMALL_N, CommitDiscipline::EarlyUnbuffered, effort),
+        prediction_sweep(dir, "fig8_12_B3", &opteron, cluster_12x2x6(), &opteron_core(),
+            LARGE_N, CommitDiscipline::EarlyUnbuffered, effort),
+        prediction_sweep(dir, "fig8_13_B4", &opteron, cluster_12x2x6(), &opteron_core(),
+            SMALL_N, CommitDiscipline::EarlyUnbuffered, effort),
+        prediction_sweep(dir, "fig8_14_B5", &xeon, cluster_8x2x4(), &xeon_core(),
+            LARGE_N, CommitDiscipline::Late, effort),
+        prediction_sweep(dir, "fig8_15_B6", &xeon, cluster_8x2x4(), &xeon_core(),
+            SMALL_N, CommitDiscipline::Late, effort),
+    ]
+}
+
+/// Fig. 8.18 (C1): predicted vs measured per-iteration time across ghost
+/// widths, with the model-selected optimum.
+pub fn fig8_18(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    let params = xeon_cluster_params();
+    let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 64);
+    let profile = profile_of(&params, &placement, effort);
+    let sweep = optimize_ghost_width(
+        &params,
+        &profile,
+        &xeon_core(),
+        &placement,
+        SMALL_N,
+        &[1, 2, 3, 4, 6, 8],
+        SEED,
+    );
+    let mut t = CsvTable::new(&["ghost_width", "predicted_s_per_iter", "measured_s_per_iter"]);
+    for (k, &w) in sweep.widths.iter().enumerate() {
+        t.push(vec![w.to_string(), fmt(sweep.predicted[k]), fmt(sweep.measured[k])]);
+    }
+    let note = format!(
+        "model-selected width: {}\nmeasured optimum:     {}\n",
+        sweep.best_predicted(),
+        sweep.best_measured()
+    );
+    vec![
+        write_csv(dir, "fig8_18_C1", &t),
+        write_text(dir, "fig8_18_C1_optimum", &note),
+    ]
+}
+
+// ---------------------------------------------------------------- driver
+
+type ExperimentFn = fn(&Path, &Effort) -> Vec<PathBuf>;
+
+/// The full experiment registry: `(id, description, function)`.
+pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
+    vec![
+        ("table3_1", "BSPBench parameter values, 8x2x4 cluster", table3_1),
+        ("fig3_2", "inner product: timings vs classic BSP estimates", fig3_2),
+        ("fig4_2", "bspbench computation rates vs vector size (host)", fig4_2),
+        ("fig4_3", "kernel rates and predictions, 2 kernels (host)", fig4_3_4_4),
+        ("fig4_5", "L1 BLAS, in-cache problem sizes (host)", fig4_5),
+        ("fig4_6", "L1 BLAS, out-of-cache problem sizes (host)", fig4_6),
+        ("fig5_2", "4-process barrier patterns in matrix form", fig5_2_3_4),
+        ("fig5_6", "barrier timings/predictions/errors, 8x2x4", fig5_6_to_5_9),
+        ("fig5_10", "barrier timings/predictions/errors, 12x2x6", fig5_10_to_5_13),
+        ("fig6_3", "BSP sync measured vs estimate, 8x2x4", fig6_3),
+        ("fig6_4", "BSP sync measured vs estimate, 12x2x6", fig6_4),
+        ("table7_1", "SSS clustering, 60 processes on 8x2x4", table7_1),
+        ("table7_2", "SSS clustering, 115 processes on 10x2x6", table7_2),
+        ("fig7_4", "hybrid barrier performance, 8x2x4", fig7_4),
+        ("fig7_5", "hybrid barrier performance, 12x2x6", fig7_5),
+        ("fig7_6", "greedy adapted barrier, 8x2x4", fig7_6),
+        ("fig7_7", "greedy adapted barrier, 12x2x6", fig7_7),
+        ("table8_1", "stencil experimental configurations", table8_1),
+        ("table8_2", "MPI and MPI+R wall times", table8_2),
+        ("fig8_4", "A1: strong scaling, all implementations", fig8_4),
+        ("fig8_5", "A2: strong scaling, BSP implementations", fig8_5),
+        ("fig8_6", "A3: strong scaling, selected, small problem", fig8_6),
+        ("fig8_7", "A4: strong scaling, incl. hybrid, small problem", fig8_7),
+        ("fig8_10", "B1-B6: stencil prediction vs measurement", fig8_10_to_8_15),
+        ("fig8_18", "C1: ghost-width adaptation", fig8_18),
+    ]
+}
+
+/// Runs one experiment by id; returns the files written.
+pub fn run_experiment(id: &str, dir: &Path, effort: &Effort) -> Option<Vec<PathBuf>> {
+    registry()
+        .into_iter()
+        .find(|(name, _, _)| *name == id)
+        .map(|(_, _, f)| f(dir, effort))
+}

@@ -1,0 +1,429 @@
+//! The superstep context: BSPlib's primitives as seen by program code.
+//!
+//! A `BspCtx` is handed to [`crate::BspProgram::superstep`] once per
+//! superstep. Communication calls *commit* operations immediately (the
+//! Fig. 1.2 early-communication model): the sender pays only the local
+//! queue-handoff cost (§6.3's `sched_yield` handshake with the
+//! communication thread), and the transfer progresses in the background
+//! while the program keeps computing. Computation itself advances the
+//! virtual clock through a processor rate model or explicit elapse calls.
+
+use crate::mem::{BsmpMsg, ProcMem, RegHandle};
+use crate::ops::CommOp;
+use hpm_kernels::kernel::Kernel;
+use hpm_kernels::rate::ProcessorModel;
+use hpm_stats::rng::JitterModel;
+use rand::rngs::StdRng;
+
+/// CPU cost of handing one operation to the communication thread
+/// (enqueue + `sched_yield`, §6.3).
+pub const ENQUEUE_OVERHEAD: f64 = 0.2e-6;
+
+/// Send-side copy cost per byte for *buffered* puts/sends (the buffered
+/// variants snapshot the data; `hpput` skips this, §6.1).
+pub const BUFFER_COPY_PER_BYTE: f64 = 2.5e-10;
+
+/// The per-superstep execution context (all of Table 6.1 except
+/// init/begin/end/sync, which the runtime embodies).
+pub struct BspCtx<'a> {
+    pid: usize,
+    nprocs: usize,
+    now: f64,
+    proc_model: &'a ProcessorModel,
+    jitter: JitterModel,
+    rng: &'a mut StdRng,
+    mem: &'a mut ProcMem,
+    ops: Vec<CommOp>,
+    abort_msg: Option<String>,
+}
+
+impl<'a> BspCtx<'a> {
+    /// Used by the runtime; not part of the BSPlib surface.
+    pub(crate) fn new(
+        pid: usize,
+        nprocs: usize,
+        now: f64,
+        proc_model: &'a ProcessorModel,
+        jitter: JitterModel,
+        rng: &'a mut StdRng,
+        mem: &'a mut ProcMem,
+    ) -> BspCtx<'a> {
+        BspCtx {
+            pid,
+            nprocs,
+            now,
+            proc_model,
+            jitter,
+            rng,
+            mem,
+            ops: Vec::new(),
+            abort_msg: None,
+        }
+    }
+
+    pub(crate) fn finish(self) -> (f64, Vec<CommOp>, Option<String>) {
+        (self.now, self.ops, self.abort_msg)
+    }
+
+    /// `bsp_nprocs`.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// `bsp_pid`.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// `bsp_time`: this process' virtual clock in seconds.
+    pub fn time(&self) -> f64 {
+        self.now
+    }
+
+    /// `bsp_abort`: record an error state; the runtime stops at this sync.
+    pub fn abort(&mut self, msg: &str) {
+        self.abort_msg = Some(msg.to_string());
+    }
+
+    /// Advances the clock by a raw duration (jittered).
+    pub fn elapse(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0, "cannot elapse negative time");
+        self.now += seconds * self.jitter.draw(self.rng);
+    }
+
+    /// Runs `applications` of a kernel at problem size `n` on the modeled
+    /// processor, advancing the clock.
+    pub fn compute_kernel(&mut self, kernel: &dyn Kernel, n: usize, applications: u64) {
+        let t = self.proc_model.time_per_apply(kernel, n) * applications as f64;
+        self.elapse(t);
+    }
+
+    /// Charges `elements` worth of a kernel whose working set is
+    /// `footprint_n` elements — used when a kernel application is split
+    /// into regions (the 17-region stencil superstep) but the cache
+    /// behaviour is governed by the whole working set.
+    pub fn compute_elements(&mut self, kernel: &dyn Kernel, footprint_n: usize, elements: usize) {
+        let t = self.proc_model.secs_per_element(kernel, footprint_n) * elements as f64;
+        self.elapse(t);
+    }
+
+    /// Allocates a process-local buffer (zero-filled).
+    pub fn alloc(&mut self, bytes: usize) -> RegHandle {
+        self.mem.alloc(bytes)
+    }
+
+    /// `bsp_push_reg`: registration becomes usable after the next sync.
+    pub fn push_reg(&mut self, h: RegHandle) {
+        self.mem.queue_push_reg(h);
+        self.elapse(ENQUEUE_OVERHEAD);
+    }
+
+    /// `bsp_pop_reg`.
+    pub fn pop_reg(&mut self, h: RegHandle) {
+        self.mem.queue_pop_reg(h);
+        self.elapse(ENQUEUE_OVERHEAD);
+    }
+
+    /// Read a local buffer.
+    pub fn read_buf(&self, h: RegHandle) -> &[u8] {
+        self.mem.read(h)
+    }
+
+    /// Write a local buffer directly (local computation results).
+    pub fn write_buf(&mut self, h: RegHandle) -> &mut [u8] {
+        self.mem.write(h)
+    }
+
+    fn check_target(&self, pid: usize, reg: RegHandle, offset: usize, len: usize) {
+        assert!(pid < self.nprocs, "target pid {pid} out of range");
+        assert!(
+            self.mem.is_registered(reg),
+            "buffer {reg:?} not registered (push_reg takes effect after the next sync)"
+        );
+        assert!(
+            offset + len <= self.mem.len(reg),
+            "remote access [{offset}, {}) exceeds registration of {} bytes",
+            offset + len,
+            self.mem.len(reg)
+        );
+    }
+
+    fn put_impl(&mut self, dst: usize, reg: RegHandle, offset: usize, data: &[u8], hp: bool) {
+        self.check_target(dst, reg, offset, data.len());
+        let mut cost = ENQUEUE_OVERHEAD;
+        if !hp {
+            cost += data.len() as f64 * BUFFER_COPY_PER_BYTE;
+        }
+        self.elapse(cost);
+        self.ops.push(CommOp::Put {
+            issue: self.now,
+            dst,
+            reg,
+            offset,
+            data: data.to_vec(),
+            high_perf: hp,
+        });
+    }
+
+    /// `bsp_put`: buffered one-sided write of `data` into
+    /// `(dst, reg, offset)`, visible there after the next sync.
+    pub fn put(&mut self, dst: usize, reg: RegHandle, offset: usize, data: &[u8]) {
+        self.put_impl(dst, reg, offset, data, false);
+    }
+
+    /// `bsp_hpput`: unbuffered variant — cheaper at the sender, with the
+    /// usual caveat that the source must stay unchanged until sync.
+    pub fn hpput(&mut self, dst: usize, reg: RegHandle, offset: usize, data: &[u8]) {
+        self.put_impl(dst, reg, offset, data, true);
+    }
+
+    fn get_impl(
+        &mut self,
+        src: usize,
+        src_reg: RegHandle,
+        src_offset: usize,
+        dst_reg: RegHandle,
+        dst_offset: usize,
+        len: usize,
+    ) {
+        self.check_target(src, src_reg, src_offset, len);
+        assert!(
+            dst_offset + len <= self.mem.len(dst_reg),
+            "get destination overruns local buffer"
+        );
+        self.elapse(ENQUEUE_OVERHEAD);
+        self.ops.push(CommOp::Get {
+            issue: self.now,
+            src,
+            src_reg,
+            src_offset,
+            dst_reg,
+            dst_offset,
+            len,
+        });
+    }
+
+    /// `bsp_get`: one-sided read of remote memory, landing locally at the
+    /// next sync (logically before any puts of the same superstep).
+    pub fn get(
+        &mut self,
+        src: usize,
+        src_reg: RegHandle,
+        src_offset: usize,
+        dst_reg: RegHandle,
+        dst_offset: usize,
+        len: usize,
+    ) {
+        self.get_impl(src, src_reg, src_offset, dst_reg, dst_offset, len);
+    }
+
+    /// `bsp_hpget`: identical timing here (the transport is one-sided
+    /// either way); kept for interface completeness.
+    pub fn hpget(
+        &mut self,
+        src: usize,
+        src_reg: RegHandle,
+        src_offset: usize,
+        dst_reg: RegHandle,
+        dst_offset: usize,
+        len: usize,
+    ) {
+        self.get_impl(src, src_reg, src_offset, dst_reg, dst_offset, len);
+    }
+
+    /// `bsp_set_tagsize`: collective; takes effect next superstep. Returns
+    /// the previous size, as the standard requires.
+    pub fn set_tagsize(&mut self, bytes: usize) -> usize {
+        let prev = self.mem.tagsize;
+        self.mem.queue_tagsize(bytes);
+        prev
+    }
+
+    /// `bsp_send`: BSMP message with a tag of exactly the current tag
+    /// size, queued at `dst` for the next superstep.
+    pub fn send(&mut self, dst: usize, tag: &[u8], payload: &[u8]) {
+        assert!(dst < self.nprocs, "send target out of range");
+        assert_eq!(
+            tag.len(),
+            self.mem.tagsize,
+            "tag must match the current tag size ({} bytes)",
+            self.mem.tagsize
+        );
+        self.elapse(
+            ENQUEUE_OVERHEAD + (tag.len() + payload.len()) as f64 * BUFFER_COPY_PER_BYTE,
+        );
+        self.ops.push(CommOp::Send {
+            issue: self.now,
+            dst,
+            tag: tag.to_vec(),
+            payload: payload.to_vec(),
+        });
+    }
+
+    /// `bsp_qsize`: number of undrained messages in this superstep's queue.
+    pub fn qsize(&self) -> usize {
+        self.mem.inbox.len()
+    }
+
+    /// `bsp_get_tag`: tag of the head message (and its payload length), or
+    /// `None` when the queue is empty.
+    pub fn get_tag(&self) -> Option<(Vec<u8>, usize)> {
+        self.mem
+            .inbox
+            .front()
+            .map(|m| (m.tag.clone(), m.payload.len()))
+    }
+
+    /// `bsp_move`: dequeues the head message, copying it out.
+    pub fn move_msg(&mut self) -> Option<BsmpMsg> {
+        self.elapse(ENQUEUE_OVERHEAD);
+        self.mem.inbox.pop_front()
+    }
+
+    /// `bsp_hpmove`: dequeues without the copy cost.
+    pub fn hpmove(&mut self) -> Option<BsmpMsg> {
+        self.mem.inbox.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpm_kernels::blas1::Axpy;
+    use hpm_kernels::rate::xeon_core;
+    use hpm_stats::rng::derive_rng;
+
+    fn with_ctx<R>(f: impl FnOnce(&mut BspCtx) -> R) -> (R, f64, Vec<CommOp>) {
+        let model = xeon_core();
+        let mut rng = derive_rng(1, 1);
+        let mut mem = ProcMem::default();
+        let mut ctx = BspCtx::new(0, 4, 0.0, &model, JitterModel::NONE, &mut rng, &mut mem);
+        let r = f(&mut ctx);
+        let (now, ops, _) = ctx.finish();
+        (r, now, ops)
+    }
+
+    #[test]
+    fn identity_and_clock() {
+        let ((), now, _) = with_ctx(|ctx| {
+            assert_eq!(ctx.pid(), 0);
+            assert_eq!(ctx.nprocs(), 4);
+            assert_eq!(ctx.time(), 0.0);
+            ctx.elapse(1e-3);
+            assert!((ctx.time() - 1e-3).abs() < 1e-15);
+        });
+        assert!((now - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn compute_kernel_advances_clock_by_model_rate() {
+        let model = xeon_core();
+        let expect = model.time_per_apply(&Axpy, 1024) * 10.0;
+        let ((), now, _) = with_ctx(|ctx| ctx.compute_kernel(&Axpy, 1024, 10));
+        assert!((now - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn put_requires_registration() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_ctx(|ctx| {
+                let h = ctx.alloc(16);
+                ctx.put(1, h, 0, &[1, 2, 3, 4]);
+            })
+        }));
+        assert!(result.is_err(), "unregistered put must panic");
+    }
+
+    #[test]
+    fn registered_put_is_recorded_with_issue_time() {
+        let ((), _, ops) = with_ctx(|ctx| {
+            let h = ctx.alloc(16);
+            ctx.push_reg(h);
+            ctx.mem.commit_sync();
+            ctx.elapse(5e-6);
+            ctx.put(2, h, 4, &[9; 8]);
+        });
+        assert_eq!(ops.len(), 1);
+        match &ops[0] {
+            CommOp::Put {
+                issue,
+                dst,
+                offset,
+                data,
+                high_perf,
+                ..
+            } => {
+                assert!(*issue > 5e-6);
+                assert_eq!(*dst, 2);
+                assert_eq!(*offset, 4);
+                assert_eq!(data.len(), 8);
+                assert!(!high_perf);
+            }
+            other => panic!("expected put, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hpput_is_cheaper_than_put() {
+        let big = vec![0u8; 1 << 20];
+        let ((), t_buffered, _) = with_ctx(|ctx| {
+            let h = ctx.alloc(1 << 20);
+            ctx.push_reg(h);
+            ctx.mem.commit_sync();
+            ctx.put(1, h, 0, &big);
+        });
+        let ((), t_hp, _) = with_ctx(|ctx| {
+            let h = ctx.alloc(1 << 20);
+            ctx.push_reg(h);
+            ctx.mem.commit_sync();
+            ctx.hpput(1, h, 0, &big);
+        });
+        assert!(t_hp < t_buffered, "hpput {t_hp} vs put {t_buffered}");
+    }
+
+    #[test]
+    fn send_enforces_tagsize() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_ctx(|ctx| {
+                ctx.set_tagsize(4);
+                // Still 0 this superstep: a 4-byte tag must be rejected.
+                ctx.send(1, &[0, 0, 0, 0], &[1]);
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn set_tagsize_returns_previous() {
+        let (prev, _, _) = with_ctx(|ctx| ctx.set_tagsize(8));
+        assert_eq!(prev, 0);
+    }
+
+    #[test]
+    fn out_of_bounds_put_rejected() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_ctx(|ctx| {
+                let h = ctx.alloc(4);
+                ctx.push_reg(h);
+                ctx.mem.commit_sync();
+                ctx.put(1, h, 2, &[0; 4]);
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn abort_is_captured() {
+        let ((), _, _) = {
+            let model = xeon_core();
+            let mut rng = derive_rng(2, 2);
+            let mut mem = ProcMem::default();
+            let mut ctx =
+                BspCtx::new(0, 2, 0.0, &model, JitterModel::NONE, &mut rng, &mut mem);
+            ctx.abort("boom");
+            let (now, ops, abort) = ctx.finish();
+            assert_eq!(abort.as_deref(), Some("boom"));
+            ((), now, ops)
+        };
+    }
+}

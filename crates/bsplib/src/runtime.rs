@@ -1,0 +1,662 @@
+//! The BSPlib runtime: SPMD execution, background communication and the
+//! payload-carrying synchronization barrier (§6.2–6.5).
+//!
+//! Each superstep runs in two phases. First every process executes its
+//! program code against a [`BspCtx`], which advances its virtual clock and
+//! commits communication operations with their issue times. Then the
+//! runtime resolves the superstep against the simulated network:
+//!
+//! 1. every operation's out-of-band header (and any put/send payload)
+//!    transfers in the background from its issue time;
+//! 2. get replies are issued by the data owner's communication thread as
+//!    soon as the request header is processed;
+//! 3. all processes enter the dissemination barrier, which carries the
+//!    message-count map as payload (§6.4–6.5) so each knows how many
+//!    inbound transfers remain;
+//! 4. a process completes the sync when the barrier is done *and* all its
+//!    inbound data landed — communication committed early that finished
+//!    during computation costs nothing extra, which is exactly the overlap
+//!    the Fig. 1.2 processing model exposes.
+//!
+//! Memory effects then apply in BSPlib order: gets read the pre-put state,
+//! puts land (deterministically ordered), sends appear in next-superstep
+//! queues, registrations commit.
+
+use crate::ctx::BspCtx;
+use crate::mem::{BsmpMsg, ProcMem};
+use crate::ops::{CommOp, StepOutcome, HEADER_BYTES};
+use hpm_barriers::patterns::dissemination;
+use hpm_core::predictor::PayloadSchedule;
+use hpm_kernels::rate::ProcessorModel;
+use hpm_simnet::barrier::BarrierSim;
+use hpm_simnet::exchange::{resolve_exchange, ExchangeMsg};
+use hpm_simnet::net::NetState;
+use hpm_simnet::params::PlatformParams;
+use hpm_stats::rng::derive_rng;
+use hpm_topology::Placement;
+
+/// An SPMD program: one instance per process; each `superstep` call is the
+/// code between two `bsp_sync`s.
+pub trait BspProgram {
+    fn superstep(&mut self, ctx: &mut BspCtx) -> StepOutcome;
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct BspConfig {
+    pub params: PlatformParams,
+    pub placement: Placement,
+    pub proc_model: ProcessorModel,
+    pub seed: u64,
+    /// Runaway guard: the run errors out beyond this many supersteps.
+    pub max_supersteps: usize,
+}
+
+impl BspConfig {
+    /// Standard configuration for a placement on a platform.
+    pub fn new(
+        params: PlatformParams,
+        placement: Placement,
+        proc_model: ProcessorModel,
+        seed: u64,
+    ) -> BspConfig {
+        BspConfig {
+            params,
+            placement,
+            proc_model,
+            seed,
+            max_supersteps: 100_000,
+        }
+    }
+}
+
+/// Why a run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BspError {
+    /// `bsp_abort` was called.
+    Abort {
+        pid: usize,
+        superstep: usize,
+        msg: String,
+    },
+    /// Some processes halted while others continued — `bsp_end` must be
+    /// collective.
+    MixedHalt { superstep: usize },
+    /// The `max_supersteps` guard tripped.
+    SuperstepLimit,
+}
+
+/// Timing trace of one superstep (absolute virtual times).
+#[derive(Debug, Clone)]
+pub struct SuperstepTrace {
+    /// When each process finished its program code (sync entry).
+    pub compute_end: Vec<f64>,
+    /// When each process completed the sync (next superstep entry).
+    pub completion: Vec<f64>,
+    /// Total payload bytes committed during the superstep.
+    pub payload_bytes: u64,
+    /// Number of one-sided/BSMP operations committed.
+    pub ops: usize,
+}
+
+impl SuperstepTrace {
+    /// Wall time of this superstep: latest completion minus earliest entry
+    /// into it (the previous step's latest completion is the caller's
+    /// reference; within a trace we report the collective span).
+    pub fn span(&self, prev_max_completion: f64) -> f64 {
+        let end = self.completion.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        end - prev_max_completion
+    }
+}
+
+/// The outcome of a run: final program states and the timing record.
+#[derive(Debug)]
+pub struct BspRunResult<P> {
+    /// Per-process program instances after the run.
+    pub programs: Vec<P>,
+    /// Total virtual time (latest completion of the final sync).
+    pub total_time: f64,
+    /// Per-superstep traces.
+    pub supersteps: Vec<SuperstepTrace>,
+}
+
+impl<P> BspRunResult<P> {
+    /// Number of supersteps executed.
+    pub fn superstep_count(&self) -> usize {
+        self.supersteps.len()
+    }
+
+    /// Wall time of superstep `k`.
+    pub fn superstep_time(&self, k: usize) -> f64 {
+        let prev = if k == 0 {
+            0.0
+        } else {
+            self.supersteps[k - 1]
+                .completion
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        self.supersteps[k].span(prev)
+    }
+}
+
+/// Runs an SPMD program built by `make(pid)` on the configured platform.
+pub fn run_spmd<P: BspProgram>(
+    cfg: &BspConfig,
+    mut make: impl FnMut(usize) -> P,
+) -> Result<BspRunResult<P>, BspError> {
+    let p = cfg.placement.nprocs();
+    let mut programs: Vec<P> = (0..p).map(&mut make).collect();
+    let mut mems: Vec<ProcMem> = (0..p).map(|_| ProcMem::default()).collect();
+    let mut clocks = vec![0.0f64; p];
+    let mut rng = derive_rng(cfg.seed, 0xB5F);
+    let mut net = NetState::new(&cfg.placement);
+    let barrier_pattern = (p >= 2).then(|| dissemination(p));
+    let payload = PayloadSchedule::dissemination_count_map(p);
+    let sim = BarrierSim::new(&cfg.params, &cfg.placement);
+    let mut supersteps = Vec::new();
+
+    for step in 0..cfg.max_supersteps {
+        // Phase 1: run program code, collect ops.
+        let mut all_ops: Vec<Vec<CommOp>> = Vec::with_capacity(p);
+        let mut compute_end = vec![0.0f64; p];
+        let mut halts = 0usize;
+        for pid in 0..p {
+            let mut ctx = BspCtx::new(
+                pid,
+                p,
+                clocks[pid],
+                &cfg.proc_model,
+                cfg.params.jitter,
+                &mut rng,
+                &mut mems[pid],
+            );
+            let outcome = programs[pid].superstep(&mut ctx);
+            let (now, ops, abort) = ctx.finish();
+            if let Some(msg) = abort {
+                return Err(BspError::Abort {
+                    pid,
+                    superstep: step,
+                    msg,
+                });
+            }
+            compute_end[pid] = now;
+            all_ops.push(ops);
+            if outcome == StepOutcome::Halt {
+                halts += 1;
+            }
+        }
+        if halts > 0 && halts < p {
+            return Err(BspError::MixedHalt { superstep: step });
+        }
+
+        // Phase 2: resolve communication.
+        let mut headers: Vec<ExchangeMsg> = Vec::new();
+        let mut header_owner_of_get: Vec<(usize, usize)> = Vec::new(); // (msg idx, op idx)
+        let mut flat_ops: Vec<(usize, &CommOp)> = Vec::new();
+        let mut payload_bytes = 0u64;
+        for (pid, ops) in all_ops.iter().enumerate() {
+            for op in ops {
+                flat_ops.push((pid, op));
+            }
+        }
+        for (k, &(pid, op)) in flat_ops.iter().enumerate() {
+            headers.push(ExchangeMsg {
+                src: pid,
+                dst: op.target(),
+                bytes: HEADER_BYTES,
+                issue: op.issue(),
+            });
+            match op {
+                CommOp::Put { data, .. } => {
+                    payload_bytes += data.len() as u64;
+                    headers.push(ExchangeMsg {
+                        src: pid,
+                        dst: op.target(),
+                        bytes: data.len() as u64,
+                        issue: op.issue(),
+                    });
+                }
+                CommOp::Send { tag, payload, .. } => {
+                    let b = (tag.len() + payload.len()) as u64;
+                    payload_bytes += b;
+                    headers.push(ExchangeMsg {
+                        src: pid,
+                        dst: op.target(),
+                        bytes: b,
+                        issue: op.issue(),
+                    });
+                }
+                CommOp::Get { len, .. } => {
+                    payload_bytes += *len as u64;
+                    header_owner_of_get.push((headers.len() - 1, k));
+                }
+            }
+        }
+        let r1 = resolve_exchange(&cfg.params, &cfg.placement, &headers, &mut net, &mut rng);
+        // Get replies: issued by the owner once the request is processed.
+        let replies: Vec<ExchangeMsg> = header_owner_of_get
+            .iter()
+            .map(|&(msg_idx, op_idx)| {
+                let (requester, op) = flat_ops[op_idx];
+                ExchangeMsg {
+                    src: op.target(),
+                    dst: requester,
+                    bytes: op.payload_bytes(),
+                    issue: r1.processed[msg_idx],
+                }
+            })
+            .collect();
+        let r2 = resolve_exchange(&cfg.params, &cfg.placement, &replies, &mut net, &mut rng);
+
+        // Phase 3: synchronize.
+        let barrier_exit = match &barrier_pattern {
+            Some(pat) => sim.run_once(pat, &payload, &compute_end, &mut net, &mut rng),
+            None => compute_end.clone(),
+        };
+        let completion: Vec<f64> = (0..p)
+            .map(|i| barrier_exit[i].max(r1.last_in[i]).max(r2.last_in[i]))
+            .collect();
+
+        // Phase 4: memory effects in BSPlib order.
+        // Gets read the state at the end of computation, before puts.
+        let mut get_results: Vec<(usize, &CommOp, Vec<u8>)> = Vec::new();
+        for &(pid, op) in &flat_ops {
+            if let CommOp::Get {
+                src,
+                src_reg,
+                src_offset,
+                len,
+                ..
+            } = op
+            {
+                let data = mems[*src].read(*src_reg)[*src_offset..*src_offset + *len].to_vec();
+                get_results.push((pid, op, data));
+            }
+        }
+        for &(_, op) in &flat_ops {
+            if let CommOp::Put {
+                dst,
+                reg,
+                offset,
+                data,
+                ..
+            } = op
+            {
+                mems[*dst].write(*reg)[*offset..*offset + data.len()].copy_from_slice(data);
+            }
+        }
+        for (pid, op, data) in get_results {
+            if let CommOp::Get {
+                dst_reg,
+                dst_offset,
+                len,
+                ..
+            } = op
+            {
+                mems[pid].write(*dst_reg)[*dst_offset..*dst_offset + *len]
+                    .copy_from_slice(&data);
+            }
+        }
+        for &(_, op) in &flat_ops {
+            if let CommOp::Send {
+                dst, tag, payload, ..
+            } = op
+            {
+                mems[*dst].arriving.push(BsmpMsg {
+                    tag: tag.clone(),
+                    payload: payload.clone(),
+                });
+            }
+        }
+        for mem in mems.iter_mut() {
+            mem.commit_sync();
+        }
+
+        supersteps.push(SuperstepTrace {
+            compute_end,
+            completion: completion.clone(),
+            payload_bytes,
+            ops: flat_ops.len(),
+        });
+        clocks = completion;
+
+        if halts == p {
+            let total_time = clocks.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            return Ok(BspRunResult {
+                programs,
+                total_time,
+                supersteps,
+            });
+        }
+    }
+    Err(BspError::SuperstepLimit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::RegHandle;
+    use hpm_kernels::rate::xeon_core;
+    use hpm_simnet::params::xeon_cluster_params;
+    use hpm_topology::{cluster_8x2x4, PlacementPolicy};
+
+    fn config(p: usize) -> BspConfig {
+        BspConfig::new(
+            xeon_cluster_params(),
+            Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, p),
+            xeon_core(),
+            1234,
+        )
+    }
+
+    /// Ring rotation by put: each process writes its pid into its right
+    /// neighbour's buffer, twice, checking values between supersteps.
+    struct RotatePut {
+        step: usize,
+        buf: Option<RegHandle>,
+        seen: Vec<u8>,
+    }
+
+    impl BspProgram for RotatePut {
+        fn superstep(&mut self, ctx: &mut BspCtx) -> StepOutcome {
+            let p = ctx.nprocs();
+            match self.step {
+                0 => {
+                    let h = ctx.alloc(1);
+                    ctx.push_reg(h);
+                    self.buf = Some(h);
+                    self.step = 1;
+                    StepOutcome::Continue
+                }
+                1 => {
+                    let h = self.buf.expect("allocated");
+                    let dst = (ctx.pid() + 1) % p;
+                    ctx.put(dst, h, 0, &[ctx.pid() as u8]);
+                    self.step = 2;
+                    StepOutcome::Continue
+                }
+                _ => {
+                    let h = self.buf.expect("allocated");
+                    self.seen = ctx.read_buf(h).to_vec();
+                    StepOutcome::Halt
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn put_data_arrives_after_sync() {
+        let cfg = config(8);
+        let res = run_spmd(&cfg, |_| RotatePut {
+            step: 0,
+            buf: None,
+            seen: Vec::new(),
+        })
+        .expect("run succeeds");
+        for (pid, prog) in res.programs.iter().enumerate() {
+            let left = ((pid + 8) - 1) % 8;
+            assert_eq!(prog.seen, vec![left as u8], "pid {pid}");
+        }
+        assert_eq!(res.superstep_count(), 3);
+        assert!(res.total_time > 0.0);
+    }
+
+    /// Get-based neighbour read.
+    struct NeighbourGet {
+        step: usize,
+        src: Option<RegHandle>,
+        dst: Option<RegHandle>,
+        got: u8,
+    }
+
+    impl BspProgram for NeighbourGet {
+        fn superstep(&mut self, ctx: &mut BspCtx) -> StepOutcome {
+            match self.step {
+                0 => {
+                    let s = ctx.alloc(1);
+                    let d = ctx.alloc(1);
+                    ctx.write_buf(s)[0] = (ctx.pid() * 10) as u8;
+                    ctx.push_reg(s);
+                    ctx.push_reg(d);
+                    self.src = Some(s);
+                    self.dst = Some(d);
+                    self.step = 1;
+                    StepOutcome::Continue
+                }
+                1 => {
+                    let p = ctx.nprocs();
+                    let from = (ctx.pid() + 1) % p;
+                    ctx.get(from, self.src.expect("reg"), 0, self.dst.expect("reg"), 0, 1);
+                    self.step = 2;
+                    StepOutcome::Continue
+                }
+                _ => {
+                    self.got = ctx.read_buf(self.dst.expect("reg"))[0];
+                    StepOutcome::Halt
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn get_reads_remote_values() {
+        let cfg = config(4);
+        let res = run_spmd(&cfg, |_| NeighbourGet {
+            step: 0,
+            src: None,
+            dst: None,
+            got: 0,
+        })
+        .expect("run succeeds");
+        for (pid, prog) in res.programs.iter().enumerate() {
+            assert_eq!(prog.got, (((pid + 1) % 4) * 10) as u8, "pid {pid}");
+        }
+    }
+
+    /// BSMP: everyone sends its pid to rank 0 with a 4-byte tag.
+    struct SendToZero {
+        step: usize,
+        received: Vec<u32>,
+    }
+
+    impl BspProgram for SendToZero {
+        fn superstep(&mut self, ctx: &mut BspCtx) -> StepOutcome {
+            match self.step {
+                0 => {
+                    ctx.set_tagsize(4);
+                    self.step = 1;
+                    StepOutcome::Continue
+                }
+                1 => {
+                    let tag = (ctx.pid() as u32).to_le_bytes();
+                    ctx.send(0, &tag, &(ctx.pid() as u32 * 7).to_le_bytes());
+                    self.step = 2;
+                    StepOutcome::Continue
+                }
+                _ => {
+                    if ctx.pid() == 0 {
+                        while let Some(m) = ctx.move_msg() {
+                            self.received
+                                .push(u32::from_le_bytes(m.payload.try_into().expect("4B")));
+                        }
+                    }
+                    StepOutcome::Halt
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bsmp_queue_delivers_all_messages() {
+        let cfg = config(6);
+        let res = run_spmd(&cfg, |_| SendToZero {
+            step: 0,
+            received: Vec::new(),
+        })
+        .expect("run succeeds");
+        let mut got = res.programs[0].received.clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 7, 14, 21, 28, 35]);
+    }
+
+    /// Overlap witness: a big put issued early, followed by long compute,
+    /// should cost (almost) nothing at sync compared to the same put
+    /// issued at the end of the compute.
+    struct OverlapProbe {
+        step: usize,
+        early: bool,
+        buf: Option<RegHandle>,
+    }
+
+    const BIG: usize = 4 << 20;
+
+    impl BspProgram for OverlapProbe {
+        fn superstep(&mut self, ctx: &mut BspCtx) -> StepOutcome {
+            match self.step {
+                0 => {
+                    let h = ctx.alloc(BIG);
+                    ctx.push_reg(h);
+                    self.buf = Some(h);
+                    self.step = 1;
+                    StepOutcome::Continue
+                }
+                1 => {
+                    let h = self.buf.expect("reg");
+                    let data = vec![1u8; BIG];
+                    let dst = (ctx.pid() + 1) % ctx.nprocs();
+                    let compute = 0.1; // 100 ms of work
+                    if self.early {
+                        ctx.hpput(dst, h, 0, &data);
+                        ctx.elapse(compute);
+                    } else {
+                        ctx.elapse(compute);
+                        ctx.hpput(dst, h, 0, &data);
+                    }
+                    self.step = 2;
+                    StepOutcome::Continue
+                }
+                _ => StepOutcome::Halt,
+            }
+        }
+    }
+
+    fn overlap_run(early: bool) -> f64 {
+        // 16 processes span two nodes, so the ring put crosses the
+        // gigabit link where a 4 MiB transfer costs ~35 ms.
+        let cfg = config(16);
+        let res = run_spmd(&cfg, |_| OverlapProbe {
+            step: 0,
+            early,
+            buf: None,
+        })
+        .expect("run succeeds");
+        res.superstep_time(1)
+    }
+
+    #[test]
+    fn early_commitment_overlaps_communication() {
+        let early = overlap_run(true);
+        let late = overlap_run(false);
+        // 4 MiB at ~118 MB/s is ~35 ms; early commitment hides it inside
+        // the 100 ms of compute, late commitment pays it after.
+        assert!(
+            late > early + 0.02,
+            "late {late} should exceed early {early} by the transfer time"
+        );
+    }
+
+    /// Abort propagation.
+    #[derive(Debug)]
+    struct Aborter;
+    impl BspProgram for Aborter {
+        fn superstep(&mut self, ctx: &mut BspCtx) -> StepOutcome {
+            if ctx.pid() == 2 {
+                ctx.abort("deliberate");
+            }
+            StepOutcome::Halt
+        }
+    }
+
+    #[test]
+    fn abort_surfaces_as_error() {
+        let cfg = config(4);
+        let err = run_spmd(&cfg, |_| Aborter).expect_err("must abort");
+        assert_eq!(
+            err,
+            BspError::Abort {
+                pid: 2,
+                superstep: 0,
+                msg: "deliberate".into()
+            }
+        );
+    }
+
+    /// Mixed halt detection.
+    #[derive(Debug)]
+    struct HalfHalt;
+    impl BspProgram for HalfHalt {
+        fn superstep(&mut self, ctx: &mut BspCtx) -> StepOutcome {
+            if ctx.pid() == 0 {
+                StepOutcome::Halt
+            } else {
+                StepOutcome::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_halt_is_an_error() {
+        let cfg = config(3);
+        let err = run_spmd(&cfg, |_| HalfHalt).expect_err("must fail");
+        assert_eq!(err, BspError::MixedHalt { superstep: 0 });
+    }
+
+    /// Infinite program trips the guard.
+    #[derive(Debug)]
+    struct Forever;
+    impl BspProgram for Forever {
+        fn superstep(&mut self, _ctx: &mut BspCtx) -> StepOutcome {
+            StepOutcome::Continue
+        }
+    }
+
+    #[test]
+    fn superstep_limit_guards_runaways() {
+        let mut cfg = config(2);
+        cfg.max_supersteps = 10;
+        let err = run_spmd(&cfg, |_| Forever).expect_err("must trip");
+        assert_eq!(err, BspError::SuperstepLimit);
+    }
+
+    #[test]
+    fn single_process_runs_without_barrier() {
+        let cfg = BspConfig::new(
+            xeon_cluster_params(),
+            Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 1),
+            xeon_core(),
+            9,
+        );
+        struct One {
+            done: bool,
+        }
+        impl BspProgram for One {
+            fn superstep(&mut self, ctx: &mut BspCtx) -> StepOutcome {
+                ctx.elapse(1e-3);
+                self.done = true;
+                StepOutcome::Halt
+            }
+        }
+        let res = run_spmd(&cfg, |_| One { done: false }).expect("runs");
+        assert!(res.programs[0].done);
+        assert!(res.total_time >= 1e-3 * 0.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t1 = overlap_run(true);
+        let t2 = overlap_run(true);
+        assert_eq!(t1, t2);
+    }
+}

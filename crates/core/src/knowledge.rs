@@ -1,0 +1,202 @@
+//! Knowledge-matrix correctness verification (Eqs. 5.1–5.2).
+//!
+//! A barrier is correct iff no process can leave before every process has
+//! arrived. The thesis checks this algebraically: let `K(i, j)` count the
+//! acknowledgements process i holds of process j's arrival. Initially
+//! `K_0 = I + S_0` (every process knows itself, plus stage-0 signals);
+//! each further stage propagates transitive knowledge:
+//!
+//! ```text
+//! K_i = K_{i−1} + K_{i−1} × S_i
+//! ```
+//!
+//! After the final stage the barrier synchronizes iff `K` is all-nonzero.
+//! Because counts are path counts they can grow exponentially with stage
+//! count, so we accumulate in saturating `u64`.
+
+use crate::matrix::IMat;
+use crate::pattern::BarrierPattern;
+
+/// Outcome of a knowledge-matrix verification.
+#[derive(Debug, Clone)]
+pub struct KnowledgeTrace {
+    /// Final knowledge counts (row-major `p×p`).
+    counts: Vec<u64>,
+    p: usize,
+    /// Stage after which each `(i, j)` first became known (usize::MAX when
+    /// never). Row-major.
+    first_known: Vec<usize>,
+}
+
+impl KnowledgeTrace {
+    /// Knowledge count of pair `(i, j)`: how many acknowledgement paths
+    /// inform i of j's arrival.
+    pub fn count(&self, i: usize, j: usize) -> u64 {
+        self.counts[i * self.p + j]
+    }
+
+    /// True iff every process knows of every arrival.
+    pub fn synchronizes(&self) -> bool {
+        self.counts.iter().all(|&c| c > 0)
+    }
+
+    /// Pairs `(i, j)` where i never learns of j's arrival — the failure
+    /// trace §5.5 describes as a debugging aid.
+    pub fn unknown_pairs(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.p {
+            for j in 0..self.p {
+                if self.counts[i * self.p + j] == 0 {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Stage index after which `(i, j)` first became known, or `None`.
+    pub fn first_known(&self, i: usize, j: usize) -> Option<usize> {
+        let s = self.first_known[i * self.p + j];
+        (s != usize::MAX).then_some(s)
+    }
+}
+
+/// Runs the Eq. 5.1/5.2 recurrence over a pattern.
+pub fn verify_synchronizes(pattern: &BarrierPattern) -> KnowledgeTrace {
+    let p = pattern.p();
+    let mut counts = vec![0u64; p * p];
+    let mut first_known = vec![usize::MAX; p * p];
+    // K = I.
+    for i in 0..p {
+        counts[i * p + i] = 1;
+        first_known[i * p + i] = 0;
+    }
+    for (stage_idx, stage) in pattern.iter().enumerate() {
+        // K ← K + K × S. In index form: when i signals j in this stage,
+        // everything i knows flows to j: add(j, *) += K(i, *).
+        let snapshot = counts.clone();
+        apply_stage(&snapshot, &mut counts, &mut first_known, stage, stage_idx);
+    }
+    KnowledgeTrace {
+        counts,
+        p,
+        first_known,
+    }
+}
+
+fn apply_stage(
+    snapshot: &[u64],
+    counts: &mut [u64],
+    first_known: &mut [usize],
+    stage: &IMat,
+    stage_idx: usize,
+) {
+    let p = stage.n();
+    for i in 0..p {
+        for j in stage.dsts(i) {
+            for k in 0..p {
+                let add = snapshot[i * p + k];
+                if add > 0 {
+                    let cell = j * p + k;
+                    counts[cell] = counts[cell].saturating_add(add);
+                    if first_known[cell] == usize::MAX {
+                        first_known[cell] = stage_idx;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::IMat;
+
+    fn linear(p: usize) -> BarrierPattern {
+        let gather: Vec<(usize, usize)> = (1..p).map(|i| (i, 0)).collect();
+        let release: Vec<(usize, usize)> = (1..p).map(|i| (0, i)).collect();
+        BarrierPattern::new(
+            "linear",
+            p,
+            vec![IMat::from_edges(p, &gather), IMat::from_edges(p, &release)],
+        )
+    }
+
+    fn dissemination(p: usize) -> BarrierPattern {
+        let stages = (p as f64).log2().ceil() as usize;
+        let mats = (0..stages)
+            .map(|s| {
+                let edges: Vec<(usize, usize)> =
+                    (0..p).map(|i| (i, (i + (1 << s)) % p)).collect();
+                IMat::from_edges(p, &edges)
+            })
+            .collect();
+        BarrierPattern::new("dissemination", p, mats)
+    }
+
+    #[test]
+    fn linear_barrier_synchronizes() {
+        for p in [2, 3, 4, 8, 17] {
+            let t = verify_synchronizes(&linear(p));
+            assert!(t.synchronizes(), "linear p={p}");
+        }
+    }
+
+    #[test]
+    fn dissemination_synchronizes_for_all_counts() {
+        for p in 2..=40 {
+            let t = verify_synchronizes(&dissemination(p));
+            assert!(t.synchronizes(), "dissemination p={p}");
+        }
+    }
+
+    #[test]
+    fn broken_barrier_detected_with_trace() {
+        // Gather without release: ranks 1..p never learn of each other.
+        let p = 4;
+        let gather = IMat::from_edges(p, &[(1, 0), (2, 0), (3, 0)]);
+        let b = BarrierPattern::new("broken", p, vec![gather]);
+        let t = verify_synchronizes(&b);
+        assert!(!t.synchronizes());
+        let unknown = t.unknown_pairs();
+        assert!(unknown.contains(&(1, 2)), "1 must not know 2: {unknown:?}");
+        assert!(unknown.contains(&(3, 1)));
+        // But the master knows everyone.
+        assert!(!unknown.iter().any(|&(i, _)| i == 0));
+    }
+
+    #[test]
+    fn one_stage_too_few_dissemination_fails() {
+        // ceil(log2 p) − 1 stages cannot synchronize.
+        let p = 8;
+        let mats: Vec<IMat> = (0..2)
+            .map(|s| {
+                let edges: Vec<(usize, usize)> =
+                    (0..p).map(|i| (i, (i + (1 << s)) % p)).collect();
+                IMat::from_edges(p, &edges)
+            })
+            .collect();
+        let b = BarrierPattern::new("short-diss", p, mats);
+        assert!(!verify_synchronizes(&b).synchronizes());
+    }
+
+    #[test]
+    fn knowledge_counts_grow_along_paths() {
+        let t = verify_synchronizes(&dissemination(4));
+        // Own arrival known from the start.
+        assert!(t.count(0, 0) >= 1);
+        assert_eq!(t.first_known(0, 0), Some(0));
+        // In a 2-stage dissemination over 4 procs, 0 learns of 2 only at
+        // stage 1 (distance 2 = 2^1).
+        assert_eq!(t.first_known(2, 0), Some(1));
+    }
+
+    #[test]
+    fn self_knowledge_never_lost() {
+        let t = verify_synchronizes(&linear(6));
+        for i in 0..6 {
+            assert!(t.count(i, i) >= 1);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # hpm-core — the matrix-composed heterogeneous performance model
+//!
+//! This crate is the primary contribution of the reproduced thesis: a
+//! framework that replaces the scalar parameters of the classic BSP
+//! performance model with *matrices* of per-processor and per-pair
+//! parameters, so that heterogeneous collections of subsystems compose
+//! into predictions by mechanical linear algebra instead of manual
+//! analysis.
+//!
+//! The pieces, in thesis order:
+//!
+//! * [`classic`] — the original BSP performance model `(p, r, g, l)` and
+//!   its inner-product cost function (§3.1), kept as the baseline whose
+//!   five-orders-of-magnitude misprediction motivates everything else.
+//! * [`matrix`] — dense `f64` matrices ([`matrix::DMat`]) and boolean
+//!   incidence matrices ([`matrix::IMat`]).
+//! * [`compute`] — heterogeneous computation: requirement ⊗ cost
+//!   composition, per-superstep time vectors and imbalance (§3.3,
+//!   Eqs. 3.9–3.13).
+//! * [`hockney`] — the heterogeneous Hockney communication model: `P×P`
+//!   latency and inverse-bandwidth matrices (§3.4, Eq. 3.14).
+//! * [`pattern`] — barrier communication patterns as sequences of stage
+//!   incidence matrices (§5.5, Figs. 5.2–5.4).
+//! * [`knowledge`] — the knowledge-matrix correctness test
+//!   `K_i = K_{i−1} + K_{i−1}·S_i` (Eqs. 5.1–5.2).
+//! * [`predictor`] — the critical-path barrier cost predictor with the
+//!   Eq. 5.4 stage cost, both §5.6.5 refinements and the Ch. 6.5 payload
+//!   extension.
+//! * [`superstep`] — the fundamental equation of modeling (Eq. 1.1/1.4)
+//!   and the overlap estimate (Eqs. 3.15–3.16).
+
+pub mod classic;
+pub mod compute;
+pub mod hockney;
+pub mod knowledge;
+pub mod matrix;
+pub mod pattern;
+pub mod predictor;
+pub mod superstep;
+
+pub use classic::ClassicBsp;
+pub use compute::{cross_mapping_costs, imbalance, superstep_times};
+pub use hockney::{comm_times, HeteroHockney, Hockney};
+pub use knowledge::{verify_synchronizes, KnowledgeTrace};
+pub use matrix::{DMat, IMat};
+pub use pattern::BarrierPattern;
+pub use predictor::{predict_barrier, BarrierPrediction, CommCosts, PayloadSchedule};
+pub use superstep::{overlap_estimate, SuperstepModel};

@@ -1,0 +1,146 @@
+//! Barrier communication patterns as stage-sequenced incidence matrices
+//! (§5.5).
+//!
+//! Any barrier algorithm is a layered dependency graph: a sequence of
+//! `P×P` incidence matrices `S_0, S_1, …`, where `S_k(i, j) = 1` means
+//! "process i signals process j in stage k". The encoding captures both
+//! the sequential dependencies (the stage sequence) and the signals that
+//! may be in flight simultaneously (within a stage) — everything a
+//! simulator or cost predictor needs, independent of the algorithm that
+//! generated it.
+
+use crate::matrix::IMat;
+
+/// A barrier algorithm encoded as stage incidence matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BarrierPattern {
+    name: String,
+    p: usize,
+    stages: Vec<IMat>,
+}
+
+impl BarrierPattern {
+    /// Builds a pattern, validating that every stage is a `p×p` incidence
+    /// matrix and that no stage is empty (an empty stage is a semantic
+    /// no-op that would distort stage-count-based analysis).
+    pub fn new(name: &str, p: usize, stages: Vec<IMat>) -> BarrierPattern {
+        assert!(p > 0, "pattern needs at least one process");
+        assert!(!stages.is_empty(), "pattern needs at least one stage");
+        for (k, s) in stages.iter().enumerate() {
+            assert_eq!(s.n(), p, "stage {k} has wrong dimension");
+            assert!(s.edge_count() > 0, "stage {k} is empty");
+        }
+        BarrierPattern {
+            name: name.to_string(),
+            p,
+            stages,
+        }
+    }
+
+    /// Descriptive name (e.g. `dissemination`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Process count.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Borrow one stage.
+    pub fn stage(&self, k: usize) -> &IMat {
+        &self.stages[k]
+    }
+
+    /// Iterate over stages in order.
+    pub fn iter(&self) -> impl Iterator<Item = &IMat> {
+        self.stages.iter()
+    }
+
+    /// Total signal count across all stages.
+    pub fn total_signals(&self) -> usize {
+        self.stages.iter().map(|s| s.edge_count()).sum()
+    }
+
+    /// The last stage index in which `i` transmitted a signal, if any —
+    /// used by the predictor's posted-receive refinement (§5.6.5).
+    pub fn last_send_stage(&self, i: usize, before: usize) -> Option<usize> {
+        (0..before.min(self.stages.len()))
+            .rev()
+            .find(|&k| !self.stages[k].dsts(i).is_empty())
+    }
+
+    /// Renders all stages in the layout of Figs. 5.2–5.4.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (k, s) in self.stages.iter().enumerate() {
+            writeln!(out, "S{k} =").unwrap();
+            write!(out, "{s}").unwrap();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear4() -> BarrierPattern {
+        // Fig. 5.2: gather to rank 0, then release.
+        let s0 = IMat::from_edges(4, &[(1, 0), (2, 0), (3, 0)]);
+        let s1 = IMat::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        BarrierPattern::new("linear", 4, vec![s0, s1])
+    }
+
+    #[test]
+    fn fig_5_2_linear_shape() {
+        let b = linear4();
+        assert_eq!(b.stages(), 2);
+        assert_eq!(b.total_signals(), 6);
+        assert_eq!(b.stage(0).srcs(0), vec![1, 2, 3]);
+        assert_eq!(b.stage(1).dsts(0), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn release_is_transposed_gather() {
+        let b = linear4();
+        assert_eq!(b.stage(1), &b.stage(0).transpose());
+    }
+
+    #[test]
+    fn last_send_stage_lookup() {
+        let b = linear4();
+        // Rank 1 sends only in stage 0.
+        assert_eq!(b.last_send_stage(1, 2), Some(0));
+        assert_eq!(b.last_send_stage(1, 1), Some(0));
+        assert_eq!(b.last_send_stage(1, 0), None);
+        // Rank 0 sends only in stage 1.
+        assert_eq!(b.last_send_stage(0, 1), None);
+        assert_eq!(b.last_send_stage(0, 2), Some(1));
+    }
+
+    #[test]
+    fn render_contains_all_stages() {
+        let text = linear4().render();
+        assert!(text.contains("S0 ="));
+        assert!(text.contains("S1 ="));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_stage_rejected() {
+        BarrierPattern::new("bad", 3, vec![IMat::empty(3)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_dimension_rejected() {
+        BarrierPattern::new("bad", 4, vec![IMat::from_edges(3, &[(0, 1)])]);
+    }
+}

@@ -1,0 +1,360 @@
+//! Level-1 BLAS kernels.
+//!
+//! The vector/vector routines of Figs. 4.5–4.6, written as plain Rust loops
+//! over `f64` slices. Operation counts follow the BLAS reference: `axpy`
+//! does a multiply and an add per element, `dot` a multiply and an add,
+//! `nrm2` a multiply and an add (plus one square root per call), `asum` an
+//! absolute value and an add, `iamax` a compare per element.
+//!
+//! Footprints count the *distinct vectors touched* times the element size,
+//! matching the thesis' bytes metric that makes `scal` (one vector) and
+//! `axpy` (two vectors) comparable on the memory axis (§4.2).
+
+use crate::kernel::{Kernel, KernelState, KernelTraits};
+
+const ELEM: usize = std::mem::size_of::<f64>();
+
+/// `x ↔ y`: element-wise swap; pure data movement.
+pub struct Swap;
+
+impl Kernel for Swap {
+    fn name(&self) -> &'static str {
+        "swap"
+    }
+    fn traits(&self) -> KernelTraits {
+        KernelTraits {
+            flops_per_element: 0.0,
+            bytes_per_element: 4.0 * ELEM as f64, // read+write both vectors
+        }
+    }
+    fn footprint_bytes(&self, n: usize) -> usize {
+        2 * n * ELEM
+    }
+    fn alloc(&self, n: usize) -> KernelState {
+        KernelState::with_len(n, n)
+    }
+    fn apply(&self, s: &mut KernelState) -> f64 {
+        for (xi, yi) in s.x.iter_mut().zip(s.y.iter_mut()) {
+            std::mem::swap(xi, yi);
+        }
+        s.x[0] + s.y[s.n - 1]
+    }
+}
+
+/// `x ← a·x`: scaling in place; one multiply per element, one vector.
+pub struct Scal;
+
+impl Kernel for Scal {
+    fn name(&self) -> &'static str {
+        "scal"
+    }
+    fn traits(&self) -> KernelTraits {
+        KernelTraits {
+            flops_per_element: 1.0,
+            bytes_per_element: 2.0 * ELEM as f64,
+        }
+    }
+    fn footprint_bytes(&self, n: usize) -> usize {
+        n * ELEM
+    }
+    fn alloc(&self, n: usize) -> KernelState {
+        let mut st = KernelState::with_len(n, n);
+        st.a = 1.000_000_1; // stays finite over many applications
+        st
+    }
+    fn apply(&self, s: &mut KernelState) -> f64 {
+        let a = s.a;
+        for xi in s.x.iter_mut() {
+            *xi *= a;
+        }
+        s.x[s.n / 2]
+    }
+}
+
+/// `y ← x`: copy; pure data movement over two vectors.
+pub struct Copy;
+
+impl Kernel for Copy {
+    fn name(&self) -> &'static str {
+        "copy"
+    }
+    fn traits(&self) -> KernelTraits {
+        KernelTraits {
+            flops_per_element: 0.0,
+            bytes_per_element: 2.0 * ELEM as f64,
+        }
+    }
+    fn footprint_bytes(&self, n: usize) -> usize {
+        2 * n * ELEM
+    }
+    fn alloc(&self, n: usize) -> KernelState {
+        KernelState::with_len(n, n)
+    }
+    fn apply(&self, s: &mut KernelState) -> f64 {
+        s.y.copy_from_slice(&s.x);
+        s.y[s.n - 1]
+    }
+}
+
+/// `y ← y + a·x`: the DAXPY kernel of bspbench (§3.1); two flops/element.
+pub struct Axpy;
+
+impl Kernel for Axpy {
+    fn name(&self) -> &'static str {
+        "axpy"
+    }
+    fn traits(&self) -> KernelTraits {
+        KernelTraits {
+            flops_per_element: 2.0,
+            bytes_per_element: 3.0 * ELEM as f64,
+        }
+    }
+    fn footprint_bytes(&self, n: usize) -> usize {
+        2 * n * ELEM
+    }
+    fn alloc(&self, n: usize) -> KernelState {
+        let mut st = KernelState::with_len(n, n);
+        st.a = 1e-9; // keep y bounded across 2^24 applications
+        st
+    }
+    fn apply(&self, s: &mut KernelState) -> f64 {
+        let a = s.a;
+        for (yi, xi) in s.y.iter_mut().zip(s.x.iter()) {
+            *yi += a * *xi;
+        }
+        s.y[s.n / 3]
+    }
+}
+
+/// `dot ← Σ xᵢ·yᵢ`: reduction over two vectors; two flops/element.
+pub struct Dot;
+
+impl Kernel for Dot {
+    fn name(&self) -> &'static str {
+        "dot"
+    }
+    fn traits(&self) -> KernelTraits {
+        KernelTraits {
+            flops_per_element: 2.0,
+            bytes_per_element: 2.0 * ELEM as f64,
+        }
+    }
+    fn footprint_bytes(&self, n: usize) -> usize {
+        2 * n * ELEM
+    }
+    fn alloc(&self, n: usize) -> KernelState {
+        KernelState::with_len(n, n)
+    }
+    fn apply(&self, s: &mut KernelState) -> f64 {
+        let mut acc = 0.0;
+        for (xi, yi) in s.x.iter().zip(s.y.iter()) {
+            acc += xi * yi;
+        }
+        acc
+    }
+}
+
+/// `nrm2 ← sqrt(Σ xᵢ²)`: Euclidean norm; two flops/element plus a root.
+pub struct Nrm2;
+
+impl Kernel for Nrm2 {
+    fn name(&self) -> &'static str {
+        "nrm2"
+    }
+    fn traits(&self) -> KernelTraits {
+        KernelTraits {
+            flops_per_element: 2.0,
+            bytes_per_element: ELEM as f64,
+        }
+    }
+    fn footprint_bytes(&self, n: usize) -> usize {
+        n * ELEM
+    }
+    fn alloc(&self, n: usize) -> KernelState {
+        KernelState::with_len(n, n)
+    }
+    fn apply(&self, s: &mut KernelState) -> f64 {
+        let mut acc = 0.0;
+        for xi in s.x.iter() {
+            acc += xi * xi;
+        }
+        acc.sqrt()
+    }
+}
+
+/// `asum ← Σ |xᵢ|`: absolute sum; one add plus one abs per element.
+pub struct Asum;
+
+impl Kernel for Asum {
+    fn name(&self) -> &'static str {
+        "asum"
+    }
+    fn traits(&self) -> KernelTraits {
+        KernelTraits {
+            flops_per_element: 2.0,
+            bytes_per_element: ELEM as f64,
+        }
+    }
+    fn footprint_bytes(&self, n: usize) -> usize {
+        n * ELEM
+    }
+    fn alloc(&self, n: usize) -> KernelState {
+        KernelState::with_len(n, n)
+    }
+    fn apply(&self, s: &mut KernelState) -> f64 {
+        let mut acc = 0.0;
+        for xi in s.x.iter() {
+            acc += xi.abs();
+        }
+        acc
+    }
+}
+
+/// `iamax ← argmax |xᵢ|`: index of the largest magnitude; compares only.
+pub struct Iamax;
+
+impl Kernel for Iamax {
+    fn name(&self) -> &'static str {
+        "iamax"
+    }
+    fn traits(&self) -> KernelTraits {
+        KernelTraits {
+            flops_per_element: 1.0, // one compare counted as one op
+            bytes_per_element: ELEM as f64,
+        }
+    }
+    fn footprint_bytes(&self, n: usize) -> usize {
+        n * ELEM
+    }
+    fn alloc(&self, n: usize) -> KernelState {
+        KernelState::with_len(n, n)
+    }
+    fn apply(&self, s: &mut KernelState) -> f64 {
+        let mut best = 0usize;
+        let mut best_val = f64::NEG_INFINITY;
+        for (i, xi) in s.x.iter().enumerate() {
+            let v = xi.abs();
+            if v > best_val {
+                best_val = v;
+                best = i;
+            }
+        }
+        best as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_computes_correctly() {
+        let k = Axpy;
+        let mut s = KernelState {
+            n: 3,
+            x: vec![1.0, 2.0, 3.0],
+            y: vec![10.0, 20.0, 30.0],
+            a: 2.0,
+        };
+        k.apply(&mut s);
+        assert_eq!(s.y, vec![12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn dot_known_value() {
+        let k = Dot;
+        let mut s = KernelState {
+            n: 3,
+            x: vec![1.0, 2.0, 3.0],
+            y: vec![4.0, 5.0, 6.0],
+            a: 0.0,
+        };
+        assert_eq!(k.apply(&mut s), 32.0);
+    }
+
+    #[test]
+    fn nrm2_known_value() {
+        let k = Nrm2;
+        let mut s = KernelState {
+            n: 2,
+            x: vec![3.0, 4.0],
+            y: vec![],
+            a: 0.0,
+        };
+        assert!((k.apply(&mut s) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn asum_handles_negatives() {
+        let k = Asum;
+        let mut s = KernelState {
+            n: 3,
+            x: vec![-1.0, 2.0, -3.0],
+            y: vec![],
+            a: 0.0,
+        };
+        assert_eq!(k.apply(&mut s), 6.0);
+    }
+
+    #[test]
+    fn iamax_finds_largest_magnitude() {
+        let k = Iamax;
+        let mut s = KernelState {
+            n: 4,
+            x: vec![1.0, -9.0, 3.0, 8.0],
+            y: vec![],
+            a: 0.0,
+        };
+        assert_eq!(k.apply(&mut s), 1.0);
+    }
+
+    #[test]
+    fn swap_round_trips() {
+        let k = Swap;
+        let mut s = k.alloc(16);
+        let (x0, y0) = (s.x.clone(), s.y.clone());
+        k.apply(&mut s);
+        assert_eq!(s.x, y0);
+        k.apply(&mut s);
+        assert_eq!(s.x, x0);
+    }
+
+    #[test]
+    fn copy_duplicates() {
+        let k = Copy;
+        let mut s = k.alloc(16);
+        k.apply(&mut s);
+        assert_eq!(s.x, s.y);
+    }
+
+    #[test]
+    fn scal_scales() {
+        let k = Scal;
+        let mut s = KernelState {
+            n: 2,
+            x: vec![2.0, 4.0],
+            y: vec![],
+            a: 0.5,
+        };
+        k.apply(&mut s);
+        assert_eq!(s.x, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn footprints_reflect_vector_counts() {
+        assert_eq!(Scal.footprint_bytes(1000), 8000);
+        assert_eq!(Axpy.footprint_bytes(1000), 16000);
+        assert_eq!(Swap.footprint_bytes(1000), 16000);
+        assert_eq!(Nrm2.footprint_bytes(1000), 8000);
+    }
+
+    #[test]
+    fn repeated_axpy_stays_finite() {
+        let k = Axpy;
+        let mut s = k.alloc(64);
+        for _ in 0..100_000 {
+            k.apply(&mut s);
+        }
+        assert!(s.y.iter().all(|v| v.is_finite()));
+    }
+}

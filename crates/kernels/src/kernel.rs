@@ -1,0 +1,115 @@
+//! The kernel abstraction.
+//!
+//! A kernel is "a small algorithm for processing a segment at the head of a
+//! stream" (§2.3.2); for modeling purposes the thesis characterizes one by
+//! its steady-state execution rate on a given processor (§3.3). A
+//! [`Kernel`] here owns three things: how to allocate and initialize its
+//! working set, how to apply itself once over that set, and its static
+//! traits (flops and bytes per element) from which synthetic rate models
+//! derive costs.
+
+/// Working storage for a kernel application.
+///
+/// All the kernels in this crate operate on at most two vectors and a
+/// scalar; the stencil interprets `x`/`y` as square grids. Keeping the
+/// state generic lets the harness allocate, pre-fault and reuse buffers
+/// uniformly (the thesis pre-faults and `mlockall`s its buffers, §4.1 — the
+/// pre-faulting is reproduced by writing every element during `init`).
+#[derive(Debug, Clone)]
+pub struct KernelState {
+    /// Problem size in elements (grid side squared for the stencil).
+    pub n: usize,
+    /// First operand vector.
+    pub x: Vec<f64>,
+    /// Second operand vector.
+    pub y: Vec<f64>,
+    /// Scalar operand (e.g. the `a` of `axpy`).
+    pub a: f64,
+}
+
+impl KernelState {
+    /// Allocates state with both vectors of length `len`, deterministically
+    /// initialized (every page touched).
+    pub fn with_len(n: usize, len: usize) -> KernelState {
+        let x = (0..len).map(|i| 1.0 + (i % 17) as f64 * 0.25).collect();
+        let y = (0..len).map(|i| 0.5 + (i % 13) as f64 * 0.125).collect();
+        KernelState { n, x, y, a: 1.5 }
+    }
+}
+
+/// Static cost traits of a kernel, consumed by rate models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelTraits {
+    /// Floating-point operations per element processed.
+    pub flops_per_element: f64,
+    /// Bytes moved to/from memory per element (reads + writes).
+    pub bytes_per_element: f64,
+}
+
+/// A benchmarkable computational kernel.
+pub trait Kernel: Send + Sync {
+    /// Short name matching the thesis figures (e.g. `axpy`).
+    fn name(&self) -> &'static str;
+
+    /// Static flop/byte traits per element.
+    fn traits(&self) -> KernelTraits;
+
+    /// Total memory footprint in bytes for problem size `n` — the x-axis of
+    /// Figs. 4.5–4.6 (element size times the number of distinct operand
+    /// vectors actually touched).
+    fn footprint_bytes(&self, n: usize) -> usize;
+
+    /// Allocates and initializes working storage for problem size `n`.
+    fn alloc(&self, n: usize) -> KernelState;
+
+    /// Applies the kernel once over the whole working set, returning a
+    /// checksum that the caller must consume (defeating dead-code
+    /// elimination in real timing runs).
+    fn apply(&self, state: &mut KernelState) -> f64;
+
+    /// Flops in one application at size `n`.
+    fn flops(&self, n: usize) -> f64 {
+        self.traits().flops_per_element * n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl Kernel for Nop {
+        fn name(&self) -> &'static str {
+            "nop"
+        }
+        fn traits(&self) -> KernelTraits {
+            KernelTraits {
+                flops_per_element: 2.0,
+                bytes_per_element: 16.0,
+            }
+        }
+        fn footprint_bytes(&self, n: usize) -> usize {
+            16 * n
+        }
+        fn alloc(&self, n: usize) -> KernelState {
+            KernelState::with_len(n, n)
+        }
+        fn apply(&self, _s: &mut KernelState) -> f64 {
+            0.0
+        }
+    }
+
+    #[test]
+    fn default_flops_uses_traits() {
+        assert_eq!(Nop.flops(100), 200.0);
+    }
+
+    #[test]
+    fn state_is_initialized_and_deterministic() {
+        let a = KernelState::with_len(8, 8);
+        let b = KernelState::with_len(8, 8);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.y, b.y);
+        assert!(a.x.iter().all(|&v| v != 0.0));
+    }
+}

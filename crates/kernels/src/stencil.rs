@@ -1,0 +1,164 @@
+//! The 5-point stencil kernel.
+//!
+//! The second kernel of Fig. 4.3 and the computational core of the Chapter-8
+//! Laplacian case study: a Jacobi sweep where every interior point becomes
+//! the average of its four neighbours. One application sweeps the interior
+//! of a `side × side` grid (`x` holds the input generation, `y` the output,
+//! then the roles swap).
+
+use crate::kernel::{Kernel, KernelState, KernelTraits};
+
+const ELEM: usize = std::mem::size_of::<f64>();
+
+/// 5-point Jacobi stencil over the interior of a square grid.
+///
+/// Problem size `n` is the *total* element count; the grid side is
+/// `floor(sqrt(n))`, mirroring the thesis' choice of a 32² = 1024-element
+/// area to compare against 1024-element vectors (§4.1).
+pub struct Stencil5;
+
+impl Stencil5 {
+    /// Grid side for a given element count.
+    pub fn side(n: usize) -> usize {
+        (n as f64).sqrt().floor() as usize
+    }
+
+    /// One Jacobi sweep: `dst` interior = average of `src` neighbours.
+    /// Returns the interior sum as checksum. Boundary rows/columns are
+    /// copied through unchanged.
+    pub fn sweep(src: &[f64], dst: &mut [f64], side: usize) -> f64 {
+        assert!(side >= 3, "stencil needs at least a 3x3 grid");
+        assert_eq!(src.len(), side * side);
+        assert_eq!(dst.len(), side * side);
+        let mut acc = 0.0;
+        dst[..side].copy_from_slice(&src[..side]);
+        dst[(side - 1) * side..].copy_from_slice(&src[(side - 1) * side..]);
+        for i in 1..side - 1 {
+            let row = i * side;
+            dst[row] = src[row];
+            dst[row + side - 1] = src[row + side - 1];
+            for j in 1..side - 1 {
+                let v = 0.25
+                    * (src[row + j - side] + src[row + j + side] + src[row + j - 1]
+                        + src[row + j + 1]);
+                dst[row + j] = v;
+                acc += v;
+            }
+        }
+        acc
+    }
+}
+
+impl Kernel for Stencil5 {
+    fn name(&self) -> &'static str {
+        "stencil5"
+    }
+    fn traits(&self) -> KernelTraits {
+        KernelTraits {
+            // 3 adds + 1 multiply per interior point.
+            flops_per_element: 4.0,
+            // 4 neighbour reads + 1 write; reads mostly hit cache lines
+            // already streamed, so the memory-facing count is ~2 elements.
+            bytes_per_element: 2.0 * ELEM as f64,
+        }
+    }
+    fn footprint_bytes(&self, n: usize) -> usize {
+        let side = Self::side(n);
+        2 * side * side * ELEM
+    }
+    fn alloc(&self, n: usize) -> KernelState {
+        let side = Self::side(n);
+        assert!(side >= 3, "stencil problem size {n} too small");
+        let len = side * side;
+        let mut st = KernelState::with_len(n, len);
+        // A smooth hill keeps iterated sweeps numerically tame.
+        for i in 0..side {
+            for j in 0..side {
+                let u = i as f64 / (side - 1) as f64;
+                let v = j as f64 / (side - 1) as f64;
+                st.x[i * side + j] = (std::f64::consts::PI * u).sin() * (std::f64::consts::PI * v).sin();
+            }
+        }
+        st.y.copy_from_slice(&st.x);
+        st
+    }
+    fn apply(&self, s: &mut KernelState) -> f64 {
+        let side = Stencil5::side(s.n);
+        let acc = Stencil5::sweep(&s.x, &mut s.y, side);
+        std::mem::swap(&mut s.x, &mut s.y);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn side_of_1024_is_32() {
+        assert_eq!(Stencil5::side(1024), 32);
+    }
+
+    #[test]
+    fn uniform_field_is_fixed_point() {
+        let side = 8;
+        let src = vec![3.0; side * side];
+        let mut dst = vec![0.0; side * side];
+        Stencil5::sweep(&src, &mut dst, side);
+        assert!(dst.iter().all(|&v| (v - 3.0).abs() < 1e-15));
+    }
+
+    #[test]
+    fn single_interior_spike_spreads_to_neighbours() {
+        let side = 5;
+        let mut src = vec![0.0; side * side];
+        src[2 * side + 2] = 4.0;
+        let mut dst = vec![0.0; side * side];
+        Stencil5::sweep(&src, &mut dst, side);
+        // The spike's four neighbours each get 1.0; the centre becomes 0.
+        assert_eq!(dst[2 * side + 2], 0.0);
+        assert_eq!(dst[1 * side + 2], 1.0);
+        assert_eq!(dst[3 * side + 2], 1.0);
+        assert_eq!(dst[2 * side + 1], 1.0);
+        assert_eq!(dst[2 * side + 3], 1.0);
+    }
+
+    #[test]
+    fn boundary_is_preserved() {
+        let k = Stencil5;
+        let mut s = k.alloc(100); // 10x10
+        let side = 10;
+        let before: Vec<f64> = s.x.clone();
+        k.apply(&mut s);
+        for j in 0..side {
+            assert_eq!(s.x[j], before[j], "top row");
+            assert_eq!(s.x[(side - 1) * side + j], before[(side - 1) * side + j], "bottom");
+        }
+        for i in 0..side {
+            assert_eq!(s.x[i * side], before[i * side], "left column");
+            assert_eq!(s.x[i * side + side - 1], before[i * side + side - 1], "right");
+        }
+    }
+
+    #[test]
+    fn jacobi_converges_toward_boundary_values() {
+        // Zero boundary, smooth interior: repeated sweeps decay the field.
+        let k = Stencil5;
+        let mut s = k.alloc(1024);
+        let initial: f64 = s.x.iter().map(|v| v.abs()).sum();
+        for _ in 0..200 {
+            k.apply(&mut s);
+        }
+        let remaining: f64 = s.x.iter().map(|v| v.abs()).sum();
+        assert!(
+            remaining < initial * 0.5,
+            "field should decay: {remaining} vs {initial}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_small_grid_rejected() {
+        Stencil5::sweep(&[0.0; 4], &mut [0.0; 4], 2);
+    }
+}

@@ -1,0 +1,300 @@
+//! The Fig. 5.5 staged barrier executor.
+//!
+//! The thesis' barrier simulator drives an arbitrary pattern through
+//! `MPI_Startall`/`MPI_Waitall` per stage; the equivalent here executes
+//! each stage against the message engine: every process pays the call
+//! overhead, issues its signal vector as serial acknowledged round trips,
+//! and leaves the stage when its own sends are acknowledged and its
+//! expected receives are processed.
+
+use crate::net::NetState;
+use crate::params::PlatformParams;
+use hpm_core::pattern::BarrierPattern;
+use hpm_core::predictor::PayloadSchedule;
+use hpm_stats::rng::derive_rng;
+use hpm_stats::summary::Summary;
+use hpm_topology::Placement;
+use rand::rngs::StdRng;
+
+/// Aggregated timings of repeated barrier executions.
+#[derive(Debug, Clone)]
+pub struct BarrierMeasurement {
+    /// Completion time (max over processes) of every run.
+    pub samples: Vec<f64>,
+}
+
+impl BarrierMeasurement {
+    /// Arithmetic mean of the per-run worst-case times — the statistic of
+    /// Figs. 5.6/5.10 ("worst-case times were collected from 256 runs …
+    /// and the arithmetic mean of these is reported").
+    pub fn mean(&self) -> f64 {
+        Summary::from_slice(&self.samples).mean()
+    }
+
+    /// Median per-run worst-case time.
+    pub fn median(&self) -> f64 {
+        Summary::from_slice(&self.samples).median()
+    }
+}
+
+/// Executes barrier patterns on a simulated platform.
+#[derive(Debug, Clone, Copy)]
+pub struct BarrierSim<'a> {
+    pub params: &'a PlatformParams,
+    pub placement: &'a Placement,
+}
+
+impl<'a> BarrierSim<'a> {
+    /// Creates an executor; the placement must match the platform.
+    pub fn new(params: &'a PlatformParams, placement: &'a Placement) -> BarrierSim<'a> {
+        BarrierSim { params, placement }
+    }
+
+    /// Runs one execution from per-process entry times; returns exit times.
+    ///
+    /// `net` carries NIC/receiver queues across calls, so consecutive
+    /// barriers in a superstep share contention state.
+    pub fn run_once(
+        &self,
+        pattern: &BarrierPattern,
+        payload: &PayloadSchedule,
+        entry: &[f64],
+        net: &mut NetState,
+        rng: &mut StdRng,
+    ) -> Vec<f64> {
+        let p = pattern.p();
+        assert_eq!(entry.len(), p, "entry vector length");
+        assert_eq!(self.placement.nprocs(), p, "placement process count");
+        let mut entry = entry.to_vec();
+        for s in 0..pattern.stages() {
+            entry = self.run_stage(pattern, payload, s, &entry, net, rng);
+        }
+        entry
+    }
+
+    fn run_stage(
+        &self,
+        pattern: &BarrierPattern,
+        payload: &PayloadSchedule,
+        s: usize,
+        entry: &[f64],
+        net: &mut NetState,
+        rng: &mut StdRng,
+    ) -> Vec<f64> {
+        let p = pattern.p();
+        let stage = pattern.stage(s);
+        let bytes = payload.bytes(s);
+        // Every process calls into the library: posted time = entry + call
+        // overhead; from then on its receives are posted.
+        let posted: Vec<f64> = entry
+            .iter()
+            .map(|&e| e + self.params.call_overhead * self.params.jitter.draw(rng))
+            .collect();
+        let mut exit = posted.clone();
+        // arrivals[j] accumulates processing times of j's inbound signals.
+        let mut last_arrival = vec![f64::NEG_INFINITY; p];
+        for i in 0..p {
+            let mut t = posted[i];
+            for j in stage.dsts(i) {
+                let (ack, processed) = net.signal_round_trip(
+                    self.params,
+                    self.placement,
+                    rng,
+                    i,
+                    j,
+                    t,
+                    bytes,
+                    posted[j],
+                );
+                t = ack;
+                if processed > last_arrival[j] {
+                    last_arrival[j] = processed;
+                }
+            }
+            if t > exit[i] {
+                exit[i] = t;
+            }
+        }
+        for j in 0..p {
+            if last_arrival[j] > exit[j] {
+                exit[j] = last_arrival[j];
+            }
+        }
+        exit
+    }
+
+    /// One complete run from a cold start; returns the worst-case (max)
+    /// completion time.
+    pub fn run_total(
+        &self,
+        pattern: &BarrierPattern,
+        payload: &PayloadSchedule,
+        rng: &mut StdRng,
+    ) -> f64 {
+        let mut net = NetState::new(self.placement);
+        let entry = vec![0.0; pattern.p()];
+        let exit = self.run_once(pattern, payload, &entry, &mut net, rng);
+        exit.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Repeated runs with independent jitter streams.
+    pub fn measure(
+        &self,
+        pattern: &BarrierPattern,
+        payload: &PayloadSchedule,
+        reps: usize,
+        seed: u64,
+    ) -> BarrierMeasurement {
+        let samples = (0..reps)
+            .map(|r| {
+                let mut rng = derive_rng(seed, r as u64);
+                self.run_total(pattern, payload, &mut rng)
+            })
+            .collect();
+        BarrierMeasurement { samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::xeon_cluster_params;
+    use hpm_core::matrix::IMat;
+    use hpm_topology::{cluster_8x2x4, PlacementPolicy};
+
+    fn linear(p: usize) -> BarrierPattern {
+        let gather: Vec<(usize, usize)> = (1..p).map(|i| (i, 0)).collect();
+        let release: Vec<(usize, usize)> = (1..p).map(|i| (0, i)).collect();
+        BarrierPattern::new(
+            "linear",
+            p,
+            vec![IMat::from_edges(p, &gather), IMat::from_edges(p, &release)],
+        )
+    }
+
+    fn dissemination(p: usize) -> BarrierPattern {
+        let stages = (p as f64).log2().ceil() as usize;
+        let mats = (0..stages)
+            .map(|s| {
+                let edges: Vec<(usize, usize)> =
+                    (0..p).map(|i| (i, (i + (1 << s)) % p)).collect();
+                IMat::from_edges(p, &edges)
+            })
+            .collect();
+        BarrierPattern::new("dissemination", p, mats)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let params = xeon_cluster_params();
+        let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 32);
+        let sim = BarrierSim::new(&params, &placement);
+        let a = sim.measure(&dissemination(32), &PayloadSchedule::none(), 5, 77);
+        let b = sim.measure(&dissemination(32), &PayloadSchedule::none(), 5, 77);
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn dissemination_beats_linear_at_scale() {
+        let params = xeon_cluster_params();
+        let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 64);
+        let sim = BarrierSim::new(&params, &placement);
+        let lin = sim.measure(&linear(64), &PayloadSchedule::none(), 8, 1).mean();
+        let dis = sim
+            .measure(&dissemination(64), &PayloadSchedule::none(), 8, 1)
+            .mean();
+        assert!(lin > 2.0 * dis, "linear {lin} vs dissemination {dis}");
+    }
+
+    #[test]
+    fn single_node_barrier_is_microseconds() {
+        let params = xeon_cluster_params();
+        let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 8);
+        let sim = BarrierSim::new(&params, &placement);
+        let t = sim.measure(&dissemination(8), &PayloadSchedule::none(), 8, 2).mean();
+        assert!(t > 0.0 && t < 50e-6, "one-node dissemination {t}");
+    }
+
+    #[test]
+    fn multi_node_barrier_is_submillisecond_but_larger() {
+        let params = xeon_cluster_params();
+        let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 64);
+        let sim = BarrierSim::new(&params, &placement);
+        let t = sim
+            .measure(&dissemination(64), &PayloadSchedule::none(), 8, 3)
+            .mean();
+        assert!(
+            t > 50e-6 && t < 2e-3,
+            "full-cluster dissemination {t} out of expected band"
+        );
+    }
+
+    #[test]
+    fn payload_slows_the_barrier() {
+        let params = xeon_cluster_params();
+        let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 64);
+        let sim = BarrierSim::new(&params, &placement);
+        let plain = sim
+            .measure(&dissemination(64), &PayloadSchedule::none(), 8, 4)
+            .mean();
+        let mapped = sim
+            .measure(
+                &dissemination(64),
+                &PayloadSchedule::dissemination_count_map(64),
+                8,
+                4,
+            )
+            .mean();
+        assert!(mapped > plain, "payload {mapped} vs plain {plain}");
+    }
+
+    #[test]
+    fn linear_scales_linearly_dissemination_logarithmically() {
+        let params = xeon_cluster_params().noiseless();
+        let placement64 = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 64);
+        let placement16 = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 16);
+        let s64 = BarrierSim::new(&params, &placement64);
+        let s16 = BarrierSim::new(&params, &placement16);
+        let lin_ratio = s64.measure(&linear(64), &PayloadSchedule::none(), 3, 5).mean()
+            / s16.measure(&linear(16), &PayloadSchedule::none(), 3, 5).mean();
+        let dis_ratio = s64
+            .measure(&dissemination(64), &PayloadSchedule::none(), 3, 5)
+            .mean()
+            / s16
+                .measure(&dissemination(16), &PayloadSchedule::none(), 3, 5)
+                .mean();
+        // 4x process growth: linear should grow ~4x, dissemination ~6/4x.
+        assert!(lin_ratio > 2.5, "linear ratio {lin_ratio}");
+        assert!(dis_ratio < 2.5, "dissemination ratio {dis_ratio}");
+    }
+
+    #[test]
+    fn entry_skew_delays_completion() {
+        // Delaying one process delays the barrier by about the same amount
+        // — the empirical verification §5.5 describes.
+        let params = xeon_cluster_params().noiseless();
+        let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 16);
+        let sim = BarrierSim::new(&params, &placement);
+        let pat = dissemination(16);
+        let mut rng = derive_rng(9, 0);
+        let mut net = NetState::new(&placement);
+        let base = sim
+            .run_once(&pat, &PayloadSchedule::none(), &vec![0.0; 16], &mut net, &mut rng)
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut entry = vec![0.0; 16];
+        entry[7] = 500e-6;
+        net.reset();
+        let mut rng2 = derive_rng(9, 0);
+        let delayed = sim
+            .run_once(&pat, &PayloadSchedule::none(), &entry, &mut net, &mut rng2)
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            delayed >= base + 400e-6,
+            "delay must propagate: base {base}, delayed {delayed}"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # hpm-simnet — simulated SMP-cluster substrate
+//!
+//! The thesis validates its models on real gigabit-ethernet clusters of
+//! multi-socket multi-core nodes. This crate is the substitution for that
+//! hardware (see DESIGN.md): a deterministic, seeded simulator of message
+//! cost on such clusters, exposing exactly the behaviours the thesis'
+//! models must capture —
+//!
+//! * hierarchical link classes (same-socket / same-node / remote) with
+//!   separate CPU overheads, wire latencies and bandwidths;
+//! * per-node NIC egress serialization (messages from cohabiting processes
+//!   queue for the wire);
+//! * per-message acknowledgement round trips for small signal messages,
+//!   the behaviour the Eq. 5.4 factor 2 models;
+//! * the posted-receive fast path: a message reaching a process that is
+//!   already waiting avoids the unexpected-message buffer penalty;
+//! * multiplicative log-normal OS jitter on every timed activity.
+//!
+//! On top of the raw message engine sit the Fig. 5.5 staged barrier
+//! executor ([`barrier`]), the §5.6.3 platform microbenchmarks
+//! ([`microbench`]) which extract the `O`/`L`/`β` matrices *exactly the way
+//! an application could* (medians and regression over simulated timings,
+//! never by peeking at the true parameters), and a background-transfer
+//! resolver ([`exchange`]) used by the BSPlib runtime to model overlapped
+//! one-sided communication.
+
+pub mod barrier;
+pub mod exchange;
+pub mod microbench;
+pub mod net;
+pub mod params;
+
+pub use barrier::{BarrierMeasurement, BarrierSim};
+pub use exchange::{resolve_exchange, ExchangeMsg, ExchangeResult};
+pub use microbench::{bench_platform, MicrobenchConfig, PlatformProfile};
+pub use net::NetState;
+pub use params::{LinkCost, PlatformParams};

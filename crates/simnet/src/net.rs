@@ -1,0 +1,257 @@
+//! The message engine: NIC egress queues, receive serialization, signal
+//! round trips and one-sided transfers.
+//!
+//! Two message disciplines exist, matching the two ways the thesis'
+//! software stack moves data:
+//!
+//! * [`NetState::signal_round_trip`] — small control signals (barrier
+//!   stages). The sender is occupied until the transport-level
+//!   acknowledgement returns; this per-message round trip is the platform
+//!   behaviour that the Eq. 5.4 factor 2 models.
+//! * [`NetState::transfer`] — one-sided bulk transfers (BSPlib put/get
+//!   payloads). Fire-and-forget from the sender's perspective; the
+//!   receiving communication thread absorbs them in the background.
+//!
+//! Receive processing at each process is serialized (one communication
+//! thread per process, §6.2); remote messages from cohabiting processes
+//! serialize at their node's NIC egress. Within one resolution pass,
+//! messages are handled in a deterministic global order (senders by rank,
+//! sends by destination), a documented approximation of true event order
+//! whose error is bounded by single `o_recv` magnitudes.
+
+use crate::params::PlatformParams;
+use hpm_topology::{LinkClass, Placement};
+use rand::rngs::StdRng;
+
+/// Mutable network state: per-node NIC egress availability and per-process
+/// receive-processing availability.
+#[derive(Debug, Clone)]
+pub struct NetState {
+    nic_free: Vec<f64>,
+    recv_busy: Vec<f64>,
+}
+
+impl NetState {
+    /// Fresh state for a placement: everything available at time zero.
+    pub fn new(placement: &Placement) -> NetState {
+        NetState {
+            nic_free: vec![0.0; placement.shape().nodes()],
+            recv_busy: vec![0.0; placement.nprocs()],
+        }
+    }
+
+    /// Resets all queues to time zero.
+    pub fn reset(&mut self) {
+        self.nic_free.iter_mut().for_each(|t| *t = 0.0);
+        self.recv_busy.iter_mut().for_each(|t| *t = 0.0);
+    }
+
+    /// Applies NIC egress serialization: a remote message ready at `ready`
+    /// departs when the sender node's NIC frees up.
+    fn depart(
+        &mut self,
+        params: &PlatformParams,
+        placement: &Placement,
+        src: usize,
+        dst: usize,
+        ready: f64,
+    ) -> f64 {
+        if placement.link(src, dst) == LinkClass::Remote {
+            let node = placement.core_of(src).node;
+            let dep = ready.max(self.nic_free[node]);
+            self.nic_free[node] = dep + params.nic_gap;
+            dep
+        } else {
+            ready
+        }
+    }
+
+    /// One signal message with acknowledgement round trip.
+    ///
+    /// * `start` — sender CPU time when it begins this message;
+    /// * `bytes` — payload size (barrier payloads, §6.5);
+    /// * `dst_posted_at` — when the receiver posted its receives; arrivals
+    ///   before that pay the unexpected-message penalty.
+    ///
+    /// Returns `(ack_at_sender, processed_at_receiver)`.
+    pub fn signal_round_trip(
+        &mut self,
+        params: &PlatformParams,
+        placement: &Placement,
+        rng: &mut StdRng,
+        src: usize,
+        dst: usize,
+        start: f64,
+        bytes: u64,
+        dst_posted_at: f64,
+    ) -> (f64, f64) {
+        let lc = params.link(placement.link(src, dst));
+        let send_done = start + lc.o_send * params.jitter.draw(rng);
+        let dep = self.depart(params, placement, src, dst, send_done);
+        let wire = (lc.latency + bytes as f64 * lc.inv_bandwidth) * params.jitter.draw(rng);
+        let arrival = dep + wire;
+        let proc_start = if arrival < dst_posted_at {
+            dst_posted_at + params.unexpected_penalty
+        } else {
+            arrival
+        };
+        let processed =
+            proc_start.max(self.recv_busy[dst]) + lc.o_recv * params.jitter.draw(rng);
+        self.recv_busy[dst] = processed;
+        let ack = processed + lc.latency * params.ack_factor * params.jitter.draw(rng);
+        (ack, processed)
+    }
+
+    /// One-sided bulk transfer: the sender pays only `o_send`; the message
+    /// is absorbed by the receiver's communication thread when it arrives
+    /// (serialized with that thread's other receptions).
+    ///
+    /// Returns `(send_cpu_done, processed_at_receiver)`.
+    pub fn transfer(
+        &mut self,
+        params: &PlatformParams,
+        placement: &Placement,
+        rng: &mut StdRng,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        issue: f64,
+    ) -> (f64, f64) {
+        if src == dst {
+            // Local memory move: charged as pure bandwidth on the
+            // same-socket link, no transport.
+            let lc = params.link(LinkClass::SameSocket);
+            let done = issue + bytes as f64 * lc.inv_bandwidth;
+            return (done, done);
+        }
+        let lc = params.link(placement.link(src, dst));
+        let send_done = issue + lc.o_send * params.jitter.draw(rng);
+        let dep = self.depart(params, placement, src, dst, send_done);
+        let wire = (lc.latency + bytes as f64 * lc.inv_bandwidth) * params.jitter.draw(rng);
+        let arrival = dep + wire;
+        let processed =
+            arrival.max(self.recv_busy[dst]) + lc.o_recv * params.jitter.draw(rng);
+        self.recv_busy[dst] = processed;
+        (send_done, processed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::xeon_cluster_params;
+    use hpm_stats::rng::derive_rng;
+    use hpm_topology::{cluster_8x2x4, PlacementPolicy};
+
+    fn setup(n: usize) -> (PlatformParams, Placement) {
+        let params = xeon_cluster_params().noiseless();
+        let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, n);
+        (params, placement)
+    }
+
+    #[test]
+    fn local_signal_is_cheap_remote_is_expensive() {
+        let (params, placement) = setup(16);
+        let mut rng = derive_rng(1, 0);
+        // Ranks 0 and 2 share node 0; ranks 0 and 1 are on different nodes.
+        let mut net = NetState::new(&placement);
+        let (ack_local, _) = net.signal_round_trip(&params, &placement, &mut rng, 0, 2, 0.0, 0, 0.0);
+        net.reset();
+        let (ack_remote, _) =
+            net.signal_round_trip(&params, &placement, &mut rng, 0, 1, 0.0, 0, 0.0);
+        assert!(
+            ack_remote > 5.0 * ack_local,
+            "remote {ack_remote} vs local {ack_local}"
+        );
+    }
+
+    #[test]
+    fn nic_serializes_cohabiting_senders() {
+        let (params, placement) = setup(16);
+        let mut rng = derive_rng(2, 0);
+        let mut net = NetState::new(&placement);
+        // Ranks 0, 2, 4, 6 all live on node 0 (round-robin over 2 nodes);
+        // they all signal remote peers at once.
+        let mut arrivals = Vec::new();
+        for &src in &[0usize, 2, 4, 6] {
+            let (_, proc) =
+                net.signal_round_trip(&params, &placement, &mut rng, src, src + 1, 0.0, 0, 0.0);
+            arrivals.push(proc);
+        }
+        // Each successive departure is pushed back by nic_gap.
+        for w in arrivals.windows(2) {
+            assert!(
+                w[1] >= w[0] + params.nic_gap * 0.99,
+                "NIC must serialize: {arrivals:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unexpected_message_pays_penalty() {
+        let (params, placement) = setup(16);
+        let mut rng = derive_rng(3, 0);
+        let mut net = NetState::new(&placement);
+        // Receiver posts late (at 1 ms): message waits and pays penalty.
+        let (_, late) =
+            net.signal_round_trip(&params, &placement, &mut rng, 0, 1, 0.0, 0, 1e-3);
+        net.reset();
+        let (_, posted) =
+            net.signal_round_trip(&params, &placement, &mut rng, 0, 1, 0.0, 0, 0.0);
+        assert!(late >= 1e-3 + params.unexpected_penalty);
+        assert!(posted < 1e-3);
+    }
+
+    #[test]
+    fn payload_bytes_cost_bandwidth() {
+        let (params, placement) = setup(16);
+        let mut rng = derive_rng(4, 0);
+        let mut net = NetState::new(&placement);
+        let (a0, _) = net.signal_round_trip(&params, &placement, &mut rng, 0, 1, 0.0, 0, 0.0);
+        net.reset();
+        let (a1, _) =
+            net.signal_round_trip(&params, &placement, &mut rng, 0, 1, 0.0, 100_000, 0.0);
+        let delta = a1 - a0;
+        let expect = 100_000.0 * params.remote.inv_bandwidth;
+        assert!(
+            (delta - expect).abs() / expect < 1e-9,
+            "bandwidth term {delta} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn receiver_serializes_processing() {
+        let (params, placement) = setup(16);
+        let mut rng = derive_rng(5, 0);
+        let mut net = NetState::new(&placement);
+        // Two remote senders (ranks 0 and 2, both node 0) hit rank 5
+        // (node 1) simultaneously.
+        let (_, p1) = net.signal_round_trip(&params, &placement, &mut rng, 0, 5, 0.0, 0, 0.0);
+        let (_, p2) = net.signal_round_trip(&params, &placement, &mut rng, 2, 5, 0.0, 0, 0.0);
+        assert!(
+            p2 >= p1 + params.remote.o_recv * 0.99,
+            "second processing must queue behind the first"
+        );
+    }
+
+    #[test]
+    fn transfer_releases_sender_early() {
+        let (params, placement) = setup(16);
+        let mut rng = derive_rng(6, 0);
+        let mut net = NetState::new(&placement);
+        let (cpu_done, processed) =
+            net.transfer(&params, &placement, &mut rng, 0, 1, 1 << 20, 0.0);
+        // The sender is free long before the megabyte lands: overlap.
+        assert!(cpu_done < processed / 100.0, "{cpu_done} vs {processed}");
+    }
+
+    #[test]
+    fn self_transfer_is_memcpy_speed() {
+        let (params, placement) = setup(8);
+        let mut rng = derive_rng(7, 0);
+        let mut net = NetState::new(&placement);
+        let (_, done) = net.transfer(&params, &placement, &mut rng, 0, 0, 1 << 20, 0.0);
+        let remote = params.remote.latency;
+        assert!(done < remote * 100.0, "self transfer should be cheap");
+    }
+}

@@ -1,0 +1,83 @@
+//! Order statistics: medians and linear-interpolated quantiles.
+
+/// Sample median. Returns 0 for an empty slice.
+///
+/// The thesis reports barrier latencies as medians of repeated runs because
+/// OS jitter produces a heavy right tail that distorts means (§5.6.3).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Linear-interpolated quantile (type-7 estimator, the R default).
+///
+/// `q` is clamped to `[0, 1]`. Returns 0 for an empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let q = q.clamp(0.0, 1.0);
+    let h = (v.len() as f64 - 1.0) * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        v[lo] + (h - lo as f64) * (v[hi] - v[lo])
+    }
+}
+
+/// Interquartile range `Q3 − Q1`.
+pub fn iqr(xs: &[f64]) -> f64 {
+    quantile(xs, 0.75) - quantile(xs, 0.25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(quantile(&[], 0.9), 0.0);
+    }
+
+    #[test]
+    fn median_odd() {
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn median_even_interpolates() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn quantile_extremes_are_min_max() {
+        let xs = [9.0, 2.0, 7.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 2.0);
+        assert_eq!(quantile(&xs, 1.0), 9.0);
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range() {
+        let xs = [1.0, 2.0];
+        assert_eq!(quantile(&xs, -3.0), 1.0);
+        assert_eq!(quantile(&xs, 7.0), 2.0);
+    }
+
+    #[test]
+    fn quartiles_of_uniform_grid() {
+        let xs: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        assert!((quantile(&xs, 0.25) - 25.0).abs() < 1e-12);
+        assert!((quantile(&xs, 0.75) - 75.0).abs() < 1e-12);
+        assert!((iqr(&xs) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let xs = [10.0, -1.0, 4.0, 4.0, 2.0];
+        assert_eq!(median(&xs), 4.0);
+    }
+}

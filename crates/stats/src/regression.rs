@@ -1,0 +1,160 @@
+//! Least-squares linear regression.
+//!
+//! The thesis extracts nearly all of its platform parameters as gradients or
+//! intercepts of regression lines: computation rate from time-vs-iterations
+//! (§4.1), per-request overhead `O_ij` from time-vs-request-count, and wire
+//! latency `L_ij` / inverse bandwidth `β_ij` from time-vs-message-size
+//! (§5.6.3).
+
+/// Result of fitting `y ≈ intercept + slope·x` by ordinary least squares.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Gradient of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line at `x = 0`.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`; 1 for a perfect fit.
+    pub r_squared: f64,
+    /// Number of points the fit used.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Fits a least-squares line through `(x, y)` pairs.
+    ///
+    /// Requires at least two points with distinct `x` values; otherwise the
+    /// fit degenerates to a horizontal line through the mean with
+    /// `r_squared = 0`.
+    pub fn fit(points: &[(f64, f64)]) -> LinearFit {
+        let n = points.len();
+        if n == 0 {
+            return LinearFit {
+                slope: 0.0,
+                intercept: 0.0,
+                r_squared: 0.0,
+                n: 0,
+            };
+        }
+        let nf = n as f64;
+        let mean_x = points.iter().map(|p| p.0).sum::<f64>() / nf;
+        let mean_y = points.iter().map(|p| p.1).sum::<f64>() / nf;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        let mut syy = 0.0;
+        for &(x, y) in points {
+            let dx = x - mean_x;
+            let dy = y - mean_y;
+            sxx += dx * dx;
+            sxy += dx * dy;
+            syy += dy * dy;
+        }
+        if sxx == 0.0 {
+            return LinearFit {
+                slope: 0.0,
+                intercept: mean_y,
+                r_squared: 0.0,
+                n,
+            };
+        }
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        let r_squared = if syy == 0.0 {
+            1.0
+        } else {
+            (sxy * sxy) / (sxx * syy)
+        };
+        LinearFit {
+            slope,
+            intercept,
+            r_squared,
+            n,
+        }
+    }
+
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// Intercept clamped below at zero.
+    ///
+    /// Physical quantities extracted as intercepts (wire latency, §5.6.3)
+    /// cannot be negative; tiny negative intercepts arise from noise.
+    pub fn nonneg_intercept(&self) -> f64 {
+        self.intercept.max(0.0)
+    }
+
+    /// Slope clamped below at zero, for inverse bandwidths and per-request
+    /// overheads that cannot be negative.
+    pub fn nonneg_slope(&self) -> f64 {
+        self.slope.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let f = LinearFit::fit(&pts);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 3.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert_eq!(f.n, 10);
+    }
+
+    #[test]
+    fn empty_fit_is_zero() {
+        let f = LinearFit::fit(&[]);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 0.0);
+        assert_eq!(f.n, 0);
+    }
+
+    #[test]
+    fn constant_x_degenerates_to_mean() {
+        let f = LinearFit::fit(&[(1.0, 2.0), (1.0, 4.0)]);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 3.0);
+        assert_eq!(f.r_squared, 0.0);
+    }
+
+    #[test]
+    fn constant_y_is_perfect_horizontal_fit() {
+        let f = LinearFit::fit(&[(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 5.0);
+        assert_eq!(f.r_squared, 1.0);
+    }
+
+    #[test]
+    fn noisy_line_close_to_truth() {
+        // Deterministic pseudo-noise, zero-mean over the set.
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let x = i as f64;
+                let noise = if i % 2 == 0 { 0.1 } else { -0.1 };
+                (x, 7.0 + 0.5 * x + noise)
+            })
+            .collect();
+        let f = LinearFit::fit(&pts);
+        assert!((f.slope - 0.5).abs() < 1e-3);
+        assert!((f.intercept - 7.0).abs() < 0.05);
+        assert!(f.r_squared > 0.999);
+    }
+
+    #[test]
+    fn predict_and_clamps() {
+        let f = LinearFit {
+            slope: -0.5,
+            intercept: -1.0,
+            r_squared: 1.0,
+            n: 2,
+        };
+        assert_eq!(f.predict(2.0), -2.0);
+        assert_eq!(f.nonneg_intercept(), 0.0);
+        assert_eq!(f.nonneg_slope(), 0.0);
+    }
+}

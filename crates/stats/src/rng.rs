@@ -1,0 +1,127 @@
+//! Deterministic RNG plumbing and jitter models.
+//!
+//! Every stochastic element of the simulator draws from an explicitly seeded
+//! `StdRng` so that experiments reproduce bit-for-bit. Jitter is modeled as
+//! a log-normal multiplier on service times: OS noise on the thesis' test
+//! systems is strictly positive and heavy-tailed (§4.1, §5.6.3), which a
+//! log-normal captures while keeping the median — the statistic the
+//! benchmarks extract — equal to the noise-free value.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Derives an independent child RNG from a base seed and a stream label.
+///
+/// Mixing uses SplitMix64 so that nearby labels produce uncorrelated
+/// streams; the same `(seed, label)` always yields the same stream.
+pub fn derive_rng(seed: u64, label: u64) -> StdRng {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(label)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = || {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    };
+    let mut key = [0u8; 32];
+    for chunk in key.chunks_mut(8) {
+        chunk.copy_from_slice(&next().to_le_bytes());
+    }
+    StdRng::from_seed(key)
+}
+
+/// Multiplicative log-normal jitter with median 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JitterModel {
+    /// Standard deviation of the underlying normal (log-space sigma).
+    /// 0 disables jitter entirely.
+    pub sigma: f64,
+}
+
+impl JitterModel {
+    /// No jitter: every draw returns exactly 1.
+    pub const NONE: JitterModel = JitterModel { sigma: 0.0 };
+
+    /// Creates a jitter model; `sigma` must be non-negative and finite.
+    pub fn new(sigma: f64) -> JitterModel {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "jitter sigma must be finite and non-negative, got {sigma}"
+        );
+        JitterModel { sigma }
+    }
+
+    /// Draws a multiplier with median 1 (log-normal, `exp(sigma·Z)`).
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.sigma == 0.0 {
+            return 1.0;
+        }
+        // Box-Muller from two uniforms; rand's StandardNormal would need the
+        // rand_distr crate, which we avoid.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantile::median;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = derive_rng(42, 7);
+        let mut b = derive_rng(42, 7);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let mut a = derive_rng(42, 7);
+        let mut b = derive_rng(42, 8);
+        let av: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let bv: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut rng = derive_rng(1, 1);
+        for _ in 0..10 {
+            assert_eq!(JitterModel::NONE.draw(&mut rng), 1.0);
+        }
+    }
+
+    #[test]
+    fn jitter_is_positive_with_median_near_one() {
+        let jm = JitterModel::new(0.2);
+        let mut rng = derive_rng(9, 3);
+        let draws: Vec<f64> = (0..20_000).map(|_| jm.draw(&mut rng)).collect();
+        assert!(draws.iter().all(|&x| x > 0.0));
+        let med = median(&draws);
+        assert!((med - 1.0).abs() < 0.02, "median {med}");
+    }
+
+    #[test]
+    fn jitter_mean_exceeds_median() {
+        // Log-normal is right-skewed: mean e^{σ²/2} > 1.
+        let jm = JitterModel::new(0.5);
+        let mut rng = derive_rng(5, 5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| jm.draw(&mut rng)).sum::<f64>() / n as f64;
+        assert!(mean > 1.05, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_sigma_rejected() {
+        JitterModel::new(-0.1);
+    }
+}

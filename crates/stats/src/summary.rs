@@ -1,0 +1,191 @@
+//! Sample summaries: count, mean, standard deviation, extrema and median.
+
+use crate::quantile::median;
+
+/// A numerically stable summary of a sample of observations.
+///
+/// Means and standard deviations are accumulated with Welford's online
+/// algorithm, so summaries can be built incrementally while a benchmark runs
+/// without storing every observation. The median, which the thesis prefers
+/// for latency statistics because of heavy-tailed OS noise (§5.6.3), is
+/// computed on demand from the retained observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    count: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    values: Vec<f64>,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds a summary from a slice of observations.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.values.push(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Arithmetic mean; 0 for an empty summary.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (n − 1 denominator); 0 when n < 2.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count as f64 - 1.0)
+        }
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean, `s / sqrt(n)`.
+    pub fn std_err(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation; +inf for an empty summary.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; −inf for an empty summary.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sample median; 0 for an empty summary.
+    pub fn median(&self) -> f64 {
+        median(&self.values)
+    }
+
+    /// Borrow the retained observations in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Coefficient of variation `s / |mean|`; +inf when the mean is zero.
+    pub fn coeff_of_variation(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            f64::INFINITY
+        } else {
+            self.std_dev() / m.abs()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_benign() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+        assert_eq!(s.median(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::from_slice(&[42.0]);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+        assert_eq!(s.median(), 42.0);
+    }
+
+    #[test]
+    fn known_mean_and_variance() {
+        // Sample {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population var 4,
+        // sample var 32/7.
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        let odd = Summary::from_slice(&[3.0, 1.0, 2.0]);
+        assert_eq!(odd.median(), 2.0);
+        let even = Summary::from_slice(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(even.median(), 2.5);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 1e6 + 1e9).collect();
+        let s = Summary::from_slice(&xs);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() as f64 - 1.0);
+        assert!((s.mean() - mean).abs() / mean.abs() < 1e-12);
+        assert!((s.variance() - var).abs() / var < 1e-9);
+    }
+
+    #[test]
+    fn coefficient_of_variation() {
+        let s = Summary::from_slice(&[10.0, 10.0, 10.0]);
+        assert_eq!(s.coeff_of_variation(), 0.0);
+        let z = Summary::from_slice(&[-1.0, 1.0]);
+        assert_eq!(z.coeff_of_variation(), f64::INFINITY);
+    }
+}

@@ -1,0 +1,307 @@
+//! Local field storage with ghost cells, and a sequential reference.
+//!
+//! The numerical side of the case study: each process owns a
+//! `(width+2)×(height+2)` array (owned cells plus a one-deep ghost ring,
+//! Fig. 8.1). A sweep computes the Jacobi update over owned cells reading
+//! ghosts where needed; border extraction/injection moves the cells that
+//! neighbouring processes need. Tests verify that the distributed
+//! computation reproduces the sequential reference exactly, which is what
+//! lets the timing experiments claim they time a *correct* program.
+
+use crate::decomp::{Decomposition, LocalBlock};
+
+/// A process-local field with a one-deep ghost ring.
+#[derive(Debug, Clone)]
+pub struct LocalField {
+    pub block: LocalBlock,
+    /// Row-major `(height+2) × (width+2)` storage, generation A.
+    cur: Vec<f64>,
+    /// Generation B.
+    next: Vec<f64>,
+}
+
+impl LocalField {
+    /// Stride of the padded array.
+    fn stride(&self) -> usize {
+        self.block.width + 2
+    }
+
+    /// Creates the local portion of a global field defined by `f(x, y)`
+    /// over the `n×n` grid (zero outside — fixed boundary).
+    pub fn init(decomp: &Decomposition, rank: usize, f: impl Fn(usize, usize) -> f64) -> LocalField {
+        let block = decomp.block(rank);
+        // Global offset of this block.
+        let off = |n: usize, parts: usize, idx: usize| -> usize {
+            (0..idx).map(|k| n / parts + usize::from(k < n % parts)).sum()
+        };
+        let x0 = off(decomp.n, decomp.px, block.gx);
+        let y0 = off(decomp.n, decomp.py, block.gy);
+        let stride = block.width + 2;
+        let mut cur = vec![0.0; stride * (block.height + 2)];
+        for ly in 0..block.height {
+            for lx in 0..block.width {
+                cur[(ly + 1) * stride + lx + 1] = f(x0 + lx, y0 + ly);
+            }
+        }
+        let next = cur.clone();
+        LocalField { block, cur, next }
+    }
+
+    /// Owned cell value (local coordinates).
+    pub fn get(&self, lx: usize, ly: usize) -> f64 {
+        self.cur[(ly + 1) * self.stride() + lx + 1]
+    }
+
+    /// One Jacobi sweep over all owned cells (ghosts already in place).
+    pub fn sweep(&mut self) {
+        let s = self.stride();
+        for ly in 1..=self.block.height {
+            for lx in 1..=self.block.width {
+                let i = ly * s + lx;
+                self.next[i] = 0.25 * (self.cur[i - s] + self.cur[i + s] + self.cur[i - 1] + self.cur[i + 1]);
+            }
+        }
+        std::mem::swap(&mut self.cur, &mut self.next);
+    }
+
+    /// Extracts a border as bytes: `side` ∈ {N, S, W, E} of the owned area.
+    pub fn extract_border(&self, side: Side) -> Vec<u8> {
+        let s = self.stride();
+        let vals: Vec<f64> = match side {
+            Side::North => (1..=self.block.width).map(|lx| self.cur[s + lx]).collect(),
+            Side::South => {
+                let ly = self.block.height;
+                (1..=self.block.width).map(|lx| self.cur[ly * s + lx]).collect()
+            }
+            Side::West => (1..=self.block.height).map(|ly| self.cur[ly * s + 1]).collect(),
+            Side::East => {
+                let lx = self.block.width;
+                (1..=self.block.height).map(|ly| self.cur[ly * s + lx]).collect()
+            }
+        };
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    /// Installs ghost bytes received from the `side` neighbour.
+    pub fn install_ghost(&mut self, side: Side, bytes: &[u8]) {
+        let vals: Vec<f64> = bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8B")))
+            .collect();
+        let s = self.stride();
+        match side {
+            Side::North => {
+                assert_eq!(vals.len(), self.block.width);
+                for (k, v) in vals.iter().enumerate() {
+                    self.cur[k + 1] = *v;
+                }
+            }
+            Side::South => {
+                assert_eq!(vals.len(), self.block.width);
+                let ly = self.block.height + 1;
+                for (k, v) in vals.iter().enumerate() {
+                    self.cur[ly * s + k + 1] = *v;
+                }
+            }
+            Side::West => {
+                assert_eq!(vals.len(), self.block.height);
+                for (k, v) in vals.iter().enumerate() {
+                    self.cur[(k + 1) * s] = *v;
+                }
+            }
+            Side::East => {
+                assert_eq!(vals.len(), self.block.height);
+                let lx = self.block.width + 1;
+                for (k, v) in vals.iter().enumerate() {
+                    self.cur[(k + 1) * s + lx] = *v;
+                }
+            }
+        }
+    }
+
+    /// Sum of owned cells (for checksums).
+    pub fn owned_sum(&self) -> f64 {
+        let mut acc = 0.0;
+        for ly in 0..self.block.height {
+            for lx in 0..self.block.width {
+                acc += self.get(lx, ly);
+            }
+        }
+        acc
+    }
+}
+
+/// A face of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    North,
+    South,
+    West,
+    East,
+}
+
+impl Side {
+    /// The matching face at the neighbour.
+    pub fn opposite(&self) -> Side {
+        match self {
+            Side::North => Side::South,
+            Side::South => Side::North,
+            Side::West => Side::East,
+            Side::East => Side::West,
+        }
+    }
+}
+
+/// Sequential reference: `iters` Jacobi sweeps of the full `n×n` grid with
+/// zero (fixed) boundary, initialized by `f`.
+pub fn sequential_reference(n: usize, iters: usize, f: impl Fn(usize, usize) -> f64) -> Vec<f64> {
+    let s = n + 2;
+    let mut cur = vec![0.0; s * s];
+    for y in 0..n {
+        for x in 0..n {
+            cur[(y + 1) * s + x + 1] = f(x, y);
+        }
+    }
+    let mut next = cur.clone();
+    for _ in 0..iters {
+        for y in 1..=n {
+            for x in 1..=n {
+                let i = y * s + x;
+                next[i] = 0.25 * (cur[i - s] + cur[i + s] + cur[i - 1] + cur[i + 1]);
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    // Strip padding.
+    let mut out = Vec::with_capacity(n * n);
+    for y in 0..n {
+        for x in 0..n {
+            out.push(cur[(y + 1) * s + x + 1]);
+        }
+    }
+    out
+}
+
+/// Runs the distributed sweep in-process (exchange by direct copies) —
+/// the data-correctness harness used by tests and by the BSP program.
+pub fn distributed_reference(
+    decomp: &Decomposition,
+    iters: usize,
+    f: impl Fn(usize, usize) -> f64 + Copy,
+) -> Vec<LocalField> {
+    let p = decomp.p();
+    let mut fields: Vec<LocalField> = (0..p).map(|r| LocalField::init(decomp, r, f)).collect();
+    for _ in 0..iters {
+        // Exchange all borders, then sweep.
+        let mut transfers: Vec<(usize, Side, Vec<u8>)> = Vec::new();
+        for r in 0..p {
+            let nb = decomp.neighbours(r);
+            for (side, peer) in [
+                (Side::North, nb.north),
+                (Side::South, nb.south),
+                (Side::West, nb.west),
+                (Side::East, nb.east),
+            ] {
+                if let Some(peer) = peer {
+                    transfers.push((peer, side.opposite(), fields[r].extract_border(side)));
+                }
+            }
+        }
+        for (dst, side, bytes) in transfers {
+            fields[dst].install_ghost(side, &bytes);
+        }
+        for fld in fields.iter_mut() {
+            fld.sweep();
+        }
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hill(x: usize, y: usize) -> f64 {
+        ((x * 31 + y * 17) % 101) as f64 / 101.0
+    }
+
+    fn compare_with_reference(n: usize, p: usize, iters: usize) {
+        let d = Decomposition::new(n, p);
+        let reference = sequential_reference(n, iters, hill);
+        let fields = distributed_reference(&d, iters, hill);
+        let off = |nn: usize, parts: usize, idx: usize| -> usize {
+            (0..idx).map(|k| nn / parts + usize::from(k < nn % parts)).sum()
+        };
+        for (r, fld) in fields.iter().enumerate() {
+            let b = fld.block;
+            let x0 = off(n, d.px, b.gx);
+            let y0 = off(n, d.py, b.gy);
+            for ly in 0..b.height {
+                for lx in 0..b.width {
+                    let want = reference[(y0 + ly) * n + x0 + lx];
+                    let got = fld.get(lx, ly);
+                    assert!(
+                        (want - got).abs() < 1e-12,
+                        "rank {r} cell ({lx},{ly}): {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_matches_sequential_2x2() {
+        compare_with_reference(16, 4, 5);
+    }
+
+    #[test]
+    fn distributed_matches_sequential_3x2() {
+        compare_with_reference(20, 6, 7);
+    }
+
+    #[test]
+    fn distributed_matches_sequential_uneven_sizes() {
+        compare_with_reference(17, 4, 4);
+    }
+
+    #[test]
+    fn distributed_matches_sequential_single_proc() {
+        compare_with_reference(12, 1, 3);
+    }
+
+    #[test]
+    fn border_round_trip() {
+        let d = Decomposition::new(16, 4);
+        let fld = LocalField::init(&d, 0, hill);
+        let east = fld.extract_border(Side::East);
+        assert_eq!(east.len(), fld.block.height * 8);
+        let mut other = LocalField::init(&d, 1, hill);
+        other.install_ghost(Side::West, &east);
+        // Rank 1's west ghost must now equal rank 0's east border.
+        let vals: Vec<f64> = east
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8B")))
+            .collect();
+        let s = other.block.width + 2;
+        for (k, v) in vals.iter().enumerate() {
+            assert_eq!(other.cur[(k + 1) * s], *v);
+        }
+    }
+
+    #[test]
+    fn opposite_sides_pair_up() {
+        assert_eq!(Side::North.opposite(), Side::South);
+        assert_eq!(Side::East.opposite(), Side::West);
+    }
+
+    #[test]
+    fn sweep_preserves_uniform_field() {
+        // All-ones with zero boundary decays at the edges but the centre
+        // of a large block stays 1 after one sweep.
+        let d = Decomposition::new(32, 1);
+        let mut fld = LocalField::init(&d, 0, |_, _| 1.0);
+        fld.sweep();
+        assert_eq!(fld.get(16, 16), 1.0);
+        assert!(fld.get(0, 0) < 1.0);
+    }
+}

@@ -1,0 +1,325 @@
+//! Model-driven optimization of the shadow-region width (§8.6,
+//! Figs. 8.16–8.18).
+//!
+//! The adapted superstep trades redundant computation for amortized
+//! synchronization: with ghost zones `w` deep, border exchange and the
+//! global sync run once every `w` Jacobi iterations, at the price of
+//! computing a shrinking halo of shadow cells redundantly (iteration `j`
+//! of a superstep can still update cells up to `w−1−j` deep into the
+//! ghost region). Per-iteration cost is therefore
+//!
+//! ```text
+//! T(w)/w = [ Σ_j compute(expanded block at depth w−1−j)
+//!            ⊕ overlap(border exchange of w-deep bands)
+//!            + sync ] / w
+//! ```
+//!
+//! — a U-shaped curve whose minimum the framework predicts from the same
+//! matrices as Ch. 8.5, and which the C1 experiment validates against
+//! simulated execution.
+
+use crate::decomp::Decomposition;
+use hpm_barriers::patterns::dissemination;
+use hpm_bsplib::ops::HEADER_BYTES;
+use hpm_core::predictor::{predict_barrier, PayloadSchedule};
+use hpm_kernels::rate::ProcessorModel;
+use hpm_kernels::stencil::Stencil5;
+use hpm_simnet::barrier::BarrierSim;
+use hpm_simnet::exchange::{resolve_exchange, ExchangeMsg};
+use hpm_simnet::microbench::PlatformProfile;
+use hpm_simnet::net::NetState;
+use hpm_simnet::params::PlatformParams;
+use hpm_stats::rng::derive_rng;
+use hpm_topology::Placement;
+
+/// Cells computed by one process in one `w`-deep superstep: the block is
+/// logically expanded by `w−1−j` cells on each interior face at iteration
+/// `j` (boundary faces do not expand). Returns the per-superstep total.
+fn superstep_cells(decomp: &Decomposition, rank: usize, w: usize) -> usize {
+    let b = decomp.block(rank);
+    let nb = decomp.neighbours(rank);
+    let faces_x = usize::from(nb.west.is_some()) + usize::from(nb.east.is_some());
+    let faces_y = usize::from(nb.north.is_some()) + usize::from(nb.south.is_some());
+    (0..w)
+        .map(|j| {
+            let d = w - 1 - j;
+            (b.width + faces_x * d) * (b.height + faces_y * d)
+        })
+        .sum()
+}
+
+/// Border band bytes for one face with `w`-deep ghost zones (band depth
+/// `w`, length extended by the diagonal halo contribution).
+fn band_bytes(side_len: usize, w: usize) -> u64 {
+    ((side_len + 2 * w) * w * 8) as u64
+}
+
+/// Sweep result: predicted and measured per-iteration times per width.
+#[derive(Debug, Clone)]
+pub struct GhostSweep {
+    pub widths: Vec<usize>,
+    pub predicted: Vec<f64>,
+    pub measured: Vec<f64>,
+}
+
+impl GhostSweep {
+    fn argmin(xs: &[f64]) -> usize {
+        xs.iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN time"))
+            .expect("non-empty sweep")
+            .0
+    }
+
+    /// Width the model recommends.
+    pub fn best_predicted(&self) -> usize {
+        self.widths[Self::argmin(&self.predicted)]
+    }
+
+    /// Width the (simulated) measurement prefers.
+    pub fn best_measured(&self) -> usize {
+        self.widths[Self::argmin(&self.measured)]
+    }
+}
+
+/// Predicts the per-iteration cost of a `w`-deep superstep.
+pub fn predict_ghost_width(
+    profile: &PlatformProfile,
+    proc_model: &ProcessorModel,
+    placement: &Placement,
+    n: usize,
+    w: usize,
+) -> f64 {
+    assert!(w >= 1);
+    let p = placement.nprocs();
+    let decomp = Decomposition::new(n, p);
+    let sync = if p >= 2 {
+        predict_barrier(
+            &dissemination(p),
+            &profile.costs,
+            &PayloadSchedule::dissemination_count_map(p),
+        )
+        .total
+    } else {
+        0.0
+    };
+    let mut worst = 0.0f64;
+    for r in 0..p {
+        let cells = superstep_cells(&decomp, r, w);
+        let per_cell = proc_model.secs_per_element(&Stencil5, decomp.block(r).cells());
+        let comp = cells as f64 * per_cell;
+        // Border compute before commit: the outer ring of the expanded
+        // block at depth w−1 (approximated by the plain outer ring).
+        let pre = decomp.regions(r).pre_comm() as f64 * per_cell;
+        let nb = decomp.neighbours(r);
+        let b = decomp.block(r);
+        let mut comm = 0.0;
+        for (peer, len) in [
+            (nb.north, b.width),
+            (nb.south, b.width),
+            (nb.west, b.height),
+            (nb.east, b.height),
+        ] {
+            if let Some(peer) = peer {
+                let bytes = band_bytes(len, w) + HEADER_BYTES;
+                comm += profile.hockney.cost(r, peer, bytes as usize)
+                    + profile.hockney.alpha.get(r, peer); // header message
+            }
+        }
+        // Eq. 1.4 with all comm maskable against post-commit compute.
+        let maskable_comp = comp - pre;
+        let total = pre + maskable_comp.max(comm) + sync;
+        worst = worst.max(total);
+    }
+    worst / w as f64
+}
+
+/// Simulates the adapted superstep for width `w`, returning the mean
+/// per-iteration time over `supersteps` supersteps.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_ghost_width(
+    params: &PlatformParams,
+    profile_placement: &Placement,
+    proc_model: &ProcessorModel,
+    n: usize,
+    w: usize,
+    supersteps: usize,
+    seed: u64,
+) -> f64 {
+    let placement = profile_placement;
+    let p = placement.nprocs();
+    let decomp = Decomposition::new(n, p);
+    let sim = BarrierSim::new(params, placement);
+    let pattern = (p >= 2).then(|| dissemination(p));
+    let payload = PayloadSchedule::dissemination_count_map(p);
+    let mut rng = derive_rng(seed, w as u64);
+    let mut net = NetState::new(placement);
+    let mut t = vec![0.0f64; p];
+    for _ in 0..supersteps {
+        let mut msgs = Vec::new();
+        let mut compute_done = vec![0.0f64; p];
+        for r in 0..p {
+            let cells = superstep_cells(&decomp, r, w);
+            let per_cell = proc_model.secs_per_element(&Stencil5, decomp.block(r).cells());
+            let pre = decomp.regions(r).pre_comm() as f64 * per_cell;
+            let t_commit = t[r] + pre * params.jitter.draw(&mut rng);
+            let nb = decomp.neighbours(r);
+            let b = decomp.block(r);
+            for (peer, len) in [
+                (nb.north, b.width),
+                (nb.south, b.width),
+                (nb.west, b.height),
+                (nb.east, b.height),
+            ] {
+                if let Some(peer) = peer {
+                    msgs.push(ExchangeMsg {
+                        src: r,
+                        dst: peer,
+                        bytes: HEADER_BYTES,
+                        issue: t_commit,
+                    });
+                    msgs.push(ExchangeMsg {
+                        src: r,
+                        dst: peer,
+                        bytes: band_bytes(len, w),
+                        issue: t_commit,
+                    });
+                }
+            }
+            let rest = (cells as f64 * per_cell - pre).max(0.0);
+            compute_done[r] = t_commit + rest * params.jitter.draw(&mut rng);
+        }
+        let res = resolve_exchange(params, placement, &msgs, &mut net, &mut rng);
+        let exits = match &pattern {
+            Some(pat) => sim.run_once(pat, &payload, &compute_done, &mut net, &mut rng),
+            None => compute_done.clone(),
+        };
+        for r in 0..p {
+            t[r] = exits[r].max(res.last_in[r]);
+        }
+    }
+    let total = t.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    total / (supersteps * w) as f64
+}
+
+/// Runs the full C1 experiment: predict and measure per-iteration cost for
+/// each candidate width.
+pub fn optimize_ghost_width(
+    params: &PlatformParams,
+    profile: &PlatformProfile,
+    proc_model: &ProcessorModel,
+    placement: &Placement,
+    n: usize,
+    widths: &[usize],
+    seed: u64,
+) -> GhostSweep {
+    let predicted = widths
+        .iter()
+        .map(|&w| predict_ghost_width(profile, proc_model, placement, n, w))
+        .collect();
+    let measured = widths
+        .iter()
+        .map(|&w| measure_ghost_width(params, placement, proc_model, n, w, 6, seed))
+        .collect();
+    GhostSweep {
+        widths: widths.to_vec(),
+        predicted,
+        measured,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpm_kernels::rate::xeon_core;
+    use hpm_simnet::microbench::{bench_platform, MicrobenchConfig};
+    use hpm_simnet::params::xeon_cluster_params;
+    use hpm_topology::{cluster_8x2x4, PlacementPolicy};
+
+    fn sweep(p: usize, n: usize) -> GhostSweep {
+        let params = xeon_cluster_params();
+        let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, p);
+        let profile = bench_platform(&params, &placement, &MicrobenchConfig::quick(), 33);
+        optimize_ghost_width(
+            &params,
+            &profile,
+            &xeon_core(),
+            &placement,
+            n,
+            &[1, 2, 3, 4, 6, 8],
+            33,
+        )
+    }
+
+    #[test]
+    fn superstep_cells_grow_with_width() {
+        let d = Decomposition::new(1024, 16);
+        let base = superstep_cells(&d, 5, 1);
+        assert_eq!(base, d.block(5).cells());
+        assert!(superstep_cells(&d, 5, 2) > 2 * base - 1);
+        assert!(superstep_cells(&d, 5, 4) > 4 * base);
+    }
+
+    #[test]
+    fn boundary_blocks_expand_less() {
+        let d = Decomposition::new(1024, 16);
+        // Rank 0 is a corner (2 faces), rank 5 is interior (4 faces).
+        assert!(superstep_cells(&d, 0, 4) < superstep_cells(&d, 5, 4));
+    }
+
+    #[test]
+    fn deep_ghosts_amortize_sync_for_small_problems() {
+        // Sync-dominated regime: widening the ghost zone must help at
+        // first (w=2 beats w=1).
+        let s = sweep(64, 1024);
+        let at = |w: usize| s.predicted[s.widths.iter().position(|&x| x == w).expect("width")];
+        assert!(
+            at(2) < at(1),
+            "w=2 ({}) should beat w=1 ({}) when sync dominates",
+            at(2),
+            at(1)
+        );
+    }
+
+    #[test]
+    fn redundant_compute_eventually_wins() {
+        // The curve must turn back up: the widest setting should lose to
+        // the predicted optimum.
+        let s = sweep(64, 1024);
+        let best = s.best_predicted();
+        let widest = *s.widths.last().expect("non-empty");
+        if best != widest {
+            let t_best = s.predicted[s.widths.iter().position(|&x| x == best).expect("w")];
+            let t_widest = s.predicted[s.widths.len() - 1];
+            assert!(t_widest > t_best, "U-shape expected: {:?}", s.predicted);
+        }
+    }
+
+    #[test]
+    fn model_identifies_the_measured_optimum_region() {
+        // The C1 claim: the predicted optimum is the measured optimum or
+        // an adjacent candidate.
+        let s = sweep(64, 1024);
+        let bp = s.best_predicted();
+        let bm = s.best_measured();
+        let pos = |w: usize| s.widths.iter().position(|&x| x == w).expect("width");
+        assert!(
+            pos(bp).abs_diff(pos(bm)) <= 1,
+            "predicted w={bp}, measured w={bm}, sweep {:?} vs {:?}",
+            s.predicted,
+            s.measured
+        );
+    }
+
+    #[test]
+    fn compute_bound_problems_prefer_shallow_ghosts() {
+        // Large local blocks: redundant compute is expensive relative to
+        // sync; the optimum stays at small w.
+        let s = sweep(16, 8192);
+        assert!(
+            s.best_predicted() <= 2,
+            "compute-bound problems should not deepen ghosts: {:?}",
+            s.predicted
+        );
+    }
+}

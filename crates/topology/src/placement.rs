@@ -1,0 +1,235 @@
+//! Rank-to-core placements.
+//!
+//! §5.2 describes how all experiments pin processes: node allocation comes
+//! from the system scheduler (round-robin by default on the test clusters,
+//! §5.6.6), and within a node the sorted list of resident ranks maps each
+//! rank to the core index of its list position. Several emergent results
+//! (the odd/even oscillation of the dissemination barrier on two nodes, the
+//! power-of-two dips of the tree barrier) are artifacts of this mapping, so
+//! it must be modeled exactly.
+
+use crate::shape::{ClusterShape, CoreId, LinkClass};
+use serde::{Deserialize, Serialize};
+
+/// How ranks are distributed over nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Rank `r` on node `r mod U` where `U` is the number of nodes in use —
+    /// the default of the thesis' schedulers.
+    RoundRobin,
+    /// Rank `r` on node `r / cores_per_node` — consecutive ranks packed on
+    /// a node.
+    Block,
+    /// Rank `r` alone on node `r` — one process per node, the placement
+    /// of hybrid (threads + message passing) runs (§8.3.3). Requires
+    /// `nprocs ≤ nodes`.
+    Spread,
+}
+
+/// A concrete assignment of `nprocs` ranks to cores of a cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    shape: ClusterShape,
+    policy: PlacementPolicy,
+    nprocs: usize,
+    cores: Vec<CoreId>,
+}
+
+impl Placement {
+    /// Places `nprocs` ranks on `shape` under `policy`.
+    ///
+    /// Panics if `nprocs` is zero or exceeds the machine.
+    pub fn new(shape: ClusterShape, policy: PlacementPolicy, nprocs: usize) -> Placement {
+        assert!(nprocs > 0, "placement needs at least one process");
+        assert!(
+            nprocs <= shape.total_cores(),
+            "cannot place {nprocs} processes on {} cores",
+            shape.total_cores()
+        );
+        let cpn = shape.cores_per_node();
+        let nodes_used = nprocs.div_ceil(cpn).min(shape.nodes());
+        if policy == PlacementPolicy::Spread {
+            assert!(
+                nprocs <= shape.nodes(),
+                "spread placement needs one node per rank ({nprocs} ranks, {} nodes)",
+                shape.nodes()
+            );
+        }
+        let cores = (0..nprocs)
+            .map(|r| match policy {
+                PlacementPolicy::RoundRobin => {
+                    let node = r % nodes_used;
+                    let idx = r / nodes_used;
+                    shape.core_at(node, idx)
+                }
+                PlacementPolicy::Block => shape.core_at(r / cpn, r % cpn),
+                PlacementPolicy::Spread => shape.core_at(r, 0),
+            })
+            .collect();
+        Placement {
+            shape,
+            policy,
+            nprocs,
+            cores,
+        }
+    }
+
+    /// The cluster shape this placement lives on.
+    pub fn shape(&self) -> ClusterShape {
+        self.shape
+    }
+
+    /// Placement policy in effect.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    /// Number of placed ranks.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Physical core of a rank.
+    pub fn core_of(&self, rank: usize) -> CoreId {
+        self.cores[rank]
+    }
+
+    /// Link class between two ranks.
+    pub fn link(&self, a: usize, b: usize) -> LinkClass {
+        self.shape.link_class(self.cores[a], self.cores[b])
+    }
+
+    /// Number of distinct nodes hosting at least one rank.
+    pub fn nodes_used(&self) -> usize {
+        let mut seen = vec![false; self.shape.nodes()];
+        for c in &self.cores {
+            seen[c.node] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    }
+
+    /// Ranks resident on a node, ascending.
+    pub fn ranks_on_node(&self, node: usize) -> Vec<usize> {
+        (0..self.nprocs)
+            .filter(|&r| self.cores[r].node == node)
+            .collect()
+    }
+
+    /// Count of remote (cross-node) pairs among all ordered rank pairs.
+    pub fn remote_pair_count(&self) -> usize {
+        let mut n = 0;
+        for i in 0..self.nprocs {
+            for j in 0..self.nprocs {
+                if i != j && self.link(i, j) == LinkClass::Remote {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster_8x2x4;
+
+    #[test]
+    fn round_robin_two_nodes_parity() {
+        // 16 ranks on an 8-node 2x4 cluster use 2 nodes; round-robin puts
+        // even ranks on node 0 and odd ranks on node 1 (§5.6.6).
+        let p = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 16);
+        assert_eq!(p.nodes_used(), 2);
+        for r in 0..16 {
+            assert_eq!(p.core_of(r).node, r % 2);
+        }
+    }
+
+    #[test]
+    fn block_packs_nodes() {
+        let p = Placement::new(cluster_8x2x4(), PlacementPolicy::Block, 16);
+        assert_eq!(p.nodes_used(), 2);
+        for r in 0..8 {
+            assert_eq!(p.core_of(r).node, 0);
+        }
+        for r in 8..16 {
+            assert_eq!(p.core_of(r).node, 1);
+        }
+    }
+
+    #[test]
+    fn round_robin_never_overfills_a_node() {
+        let shape = cluster_8x2x4();
+        for n in 1..=shape.total_cores() {
+            let p = Placement::new(shape, PlacementPolicy::RoundRobin, n);
+            for node in 0..shape.nodes() {
+                assert!(
+                    p.ranks_on_node(node).len() <= shape.cores_per_node(),
+                    "{n} procs overfilled node {node}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_ranks_have_distinct_cores() {
+        let shape = cluster_8x2x4();
+        for &policy in &[PlacementPolicy::RoundRobin, PlacementPolicy::Block] {
+            let p = Placement::new(shape, policy, 64);
+            let mut seen = std::collections::HashSet::new();
+            for r in 0..64 {
+                assert!(seen.insert(p.core_of(r)), "core reused under {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_process_count_breaks_parity() {
+        // With 9 ranks round-robin on 2 nodes, the wrap of rank 8 puts two
+        // consecutive ranks on node 0 — the effect behind the Fig. 5.6
+        // oscillation.
+        let p = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 9);
+        assert_eq!(p.nodes_used(), 2);
+        assert_eq!(p.core_of(7).node, 1);
+        assert_eq!(p.core_of(8).node, 0);
+    }
+
+    #[test]
+    fn link_is_self_on_diagonal() {
+        let p = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 8);
+        for r in 0..8 {
+            assert_eq!(p.link(r, r), LinkClass::SelfLoop);
+        }
+    }
+
+    #[test]
+    fn single_node_has_no_remote_pairs() {
+        let p = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 8);
+        assert_eq!(p.nodes_used(), 1);
+        assert_eq!(p.remote_pair_count(), 0);
+    }
+
+    #[test]
+    fn spread_puts_one_rank_per_node() {
+        let p = Placement::new(cluster_8x2x4(), PlacementPolicy::Spread, 8);
+        assert_eq!(p.nodes_used(), 8);
+        for r in 0..8 {
+            assert_eq!(p.core_of(r).node, r);
+            assert_eq!(p.core_of(r).socket, 0);
+        }
+        // All pairs are remote.
+        assert_eq!(p.remote_pair_count(), 8 * 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn spread_rejects_more_ranks_than_nodes() {
+        Placement::new(cluster_8x2x4(), PlacementPolicy::Spread, 9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversubscription_rejected() {
+        Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 65);
+    }
+}

@@ -1,0 +1,60 @@
+//! Reproducing the §3.1 baseline: bspbench parameters and the classic
+//! model's failure on the inner product.
+//!
+//! Extracts Table-3.1-style `(r, g, l)` rows through the BSPlib runtime,
+//! then compares the classic BSP prediction of `bspinprod` against the
+//! measured time — the motivating five-orders-of-magnitude gap of
+//! Fig. 3.2.
+//!
+//! Run with: `cargo run --release --example cluster_benchmark`
+
+use hpm::bsplib::bench::bspbench;
+use hpm::bsplib::inprod::bspinprod;
+use hpm::bsplib::runtime::BspConfig;
+use hpm::kernels::rate::xeon_core;
+use hpm::model::classic::ClassicBsp;
+use hpm::simnet::params::xeon_cluster_params;
+use hpm::topology::{cluster_8x2x4, Placement, PlacementPolicy};
+
+fn cfg(p: usize) -> BspConfig {
+    BspConfig::new(
+        xeon_cluster_params(),
+        Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, p),
+        xeon_core(),
+        2012,
+    )
+}
+
+fn main() {
+    println!("Table 3.1 analogue — BSPBench parameters, 8-way 2x4-core cluster:");
+    println!("{:>4} {:>12} {:>10} {:>14}", "P", "r [Mflop/s]", "g", "l");
+    let n = 100_000_000u64;
+    let mut rows = Vec::new();
+    for p in (8..=64).step_by(8) {
+        let b = bspbench(&cfg(p));
+        println!(
+            "{:>4} {:>12.3} {:>10.1} {:>14.1}",
+            p,
+            b.r / 1e6,
+            b.g,
+            b.l
+        );
+        rows.push(b);
+    }
+
+    println!("\nFig. 3.2 analogue — inner product, N = 1e8:");
+    println!("{:>4} {:>14} {:>14} {:>8}", "P", "measured [s]", "classic [s]", "ratio");
+    for b in rows {
+        let classic = ClassicBsp::new(b.p, b.r, b.g, b.l).inner_product_seconds(n);
+        let measured = bspinprod(&cfg(b.p), n, 3).seconds;
+        println!(
+            "{:>4} {:>14.4e} {:>14.4e} {:>8.1}",
+            b.p,
+            measured,
+            classic,
+            measured / classic
+        );
+    }
+    println!("\nThe classic model misses badly once sync costs grow — the");
+    println!("motivation for the matrix-composed heterogeneous framework.");
+}

@@ -1,0 +1,19 @@
+//! # hpm — Performance Modeling of Heterogeneous Systems
+//!
+//! Facade crate re-exporting the workspace public API. See the README for a
+//! tour and `DESIGN.md` for the crate inventory.
+//!
+//! The workspace reproduces the modeling framework of Meyer's thesis
+//! *Performance Modeling of Heterogeneous Systems* (NTNU, 2012): a
+//! bottom-up, matrix-composed performance model for bulk-synchronous
+//! programs on SMP clusters, validated by a BSPlib runtime and two case
+//! studies (adaptive barrier construction and a 5-point Laplacian stencil).
+
+pub use hpm_barriers as barriers;
+pub use hpm_bsplib as bsplib;
+pub use hpm_core as model;
+pub use hpm_kernels as kernels;
+pub use hpm_simnet as simnet;
+pub use hpm_stats as stats;
+pub use hpm_stencil as stencil;
+pub use hpm_topology as topology;

@@ -1,0 +1,37 @@
+//! Smoke test: every registered experiment runs at quick effort and
+//! produces non-empty artifacts.
+
+use hpm_bench::experiments::{registry, run_experiment, Effort};
+
+#[test]
+fn every_experiment_runs_and_writes_output() {
+    let dir = std::env::temp_dir().join(format!("hpm-exp-smoke-{}", std::process::id()));
+    let effort = Effort::quick();
+    for (id, _, _) in registry() {
+        let paths = run_experiment(id, &dir, &effort)
+            .unwrap_or_else(|| panic!("experiment {id} not found"));
+        assert!(!paths.is_empty(), "{id} wrote nothing");
+        for p in paths {
+            let meta = std::fs::metadata(&p).unwrap_or_else(|e| {
+                panic!("{id}: missing artifact {}: {e}", p.display())
+            });
+            assert!(meta.len() > 0, "{id}: empty artifact {}", p.display());
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    let dir = std::env::temp_dir();
+    assert!(run_experiment("fig99_9", &dir, &Effort::quick()).is_none());
+}
+
+#[test]
+fn registry_ids_are_unique() {
+    let ids: Vec<&str> = registry().iter().map(|(id, _, _)| *id).collect();
+    let mut dedup = ids.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(ids.len(), dedup.len(), "duplicate experiment ids");
+}

@@ -1,0 +1,199 @@
+//! Property-based tests over the core data structures and invariants.
+
+use hpm::barriers::hybrid::{hybrid_barrier, GatherShape};
+use hpm::barriers::patterns::{all_to_all, binary_tree, dissemination, kary_tree, linear, ring};
+use hpm::barriers::sss::sss_clusters;
+use hpm::model::compute::{imbalance, superstep_times};
+use hpm::model::knowledge::verify_synchronizes;
+use hpm::model::matrix::DMat;
+use hpm::model::predictor::{predict_barrier, CommCosts, PayloadSchedule};
+use hpm::model::superstep::SuperstepModel;
+use hpm::stats::quantile::{median, quantile};
+use hpm::stats::regression::LinearFit;
+use hpm::stencil::decomp::Decomposition;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every standard builder synchronizes for every process count.
+    #[test]
+    fn all_standard_barriers_synchronize(p in 2usize..48) {
+        prop_assert!(verify_synchronizes(&linear(p, 0)).synchronizes());
+        prop_assert!(verify_synchronizes(&dissemination(p)).synchronizes());
+        prop_assert!(verify_synchronizes(&binary_tree(p)).synchronizes());
+        prop_assert!(verify_synchronizes(&ring(p)).synchronizes());
+        prop_assert!(verify_synchronizes(&all_to_all(p)).synchronizes());
+    }
+
+    /// Arbitrary-degree trees synchronize and have the 2(p−1) signal
+    /// count invariant.
+    #[test]
+    fn kary_trees_synchronize(p in 2usize..40, d in 1usize..6) {
+        let b = kary_tree(p, d);
+        prop_assert!(verify_synchronizes(&b).synchronizes());
+        prop_assert_eq!(b.total_signals(), 2 * (p - 1));
+    }
+
+    /// Dropping the final stage of a dissemination barrier (p > 2) must
+    /// break synchronization — the stage count is tight.
+    #[test]
+    fn dissemination_stage_count_is_tight(p in 3usize..33) {
+        use hpm::model::matrix::IMat;
+        use hpm::model::pattern::BarrierPattern;
+        let full = dissemination(p);
+        if full.stages() >= 2 {
+            let stages: Vec<IMat> =
+                (0..full.stages() - 1).map(|s| full.stage(s).clone()).collect();
+            let truncated = BarrierPattern::new("short", p, stages);
+            prop_assert!(!verify_synchronizes(&truncated).synchronizes());
+        }
+    }
+
+    /// Barrier prediction is monotone in latency: scaling all pairwise
+    /// latencies up cannot make the barrier faster.
+    #[test]
+    fn prediction_monotone_in_latency(p in 2usize..24, scale in 1.0f64..10.0) {
+        let base = CommCosts::uniform(p, 1e-7, 5e-7, 2e-6);
+        let scaled = CommCosts::new(
+            base.o.clone(),
+            base.l.scale(scale),
+            base.beta.clone(),
+        );
+        let pat = dissemination(p);
+        let t0 = predict_barrier(&pat, &base, &PayloadSchedule::none()).total;
+        let t1 = predict_barrier(&pat, &scaled, &PayloadSchedule::none()).total;
+        prop_assert!(t1 >= t0 * 0.999);
+    }
+
+    /// Payload never makes a prediction cheaper.
+    #[test]
+    fn payload_is_never_free(p in 2usize..24, bytes in 0u64..100_000) {
+        let mut costs = CommCosts::uniform(p, 1e-7, 5e-7, 2e-6);
+        costs.beta = DMat::from_fn(p, p, |i, j| if i == j { 0.0 } else { 1e-9 });
+        let pat = dissemination(p);
+        let plain = predict_barrier(&pat, &costs, &PayloadSchedule::none()).total;
+        let loaded = predict_barrier(
+            &pat,
+            &costs,
+            &PayloadSchedule::uniform(pat.stages(), bytes),
+        )
+        .total;
+        prop_assert!(loaded >= plain);
+    }
+
+    /// (R ⊗ C)·s is linear in the requirements.
+    #[test]
+    fn superstep_times_linear_in_requirements(
+        n in 1usize..2000,
+        k in 1.0f64..8.0,
+    ) {
+        let r = DMat::from_fn(3, 2, |i, j| (n * (i + j + 1)) as f64);
+        let c = DMat::from_fn(3, 2, |i, j| 1e-9 * (1 + i * 2 + j) as f64);
+        let t1 = superstep_times(&r, &c);
+        let t2 = superstep_times(&r.scale(k), &c);
+        for (a, b) in t1.iter().zip(t2.iter()) {
+            prop_assert!((b - a * k).abs() <= 1e-12 * b.abs().max(1.0));
+        }
+    }
+
+    /// Imbalance is scale-invariant and non-negative.
+    #[test]
+    fn imbalance_properties(t in proptest::collection::vec(0.1f64..100.0, 1..16), k in 0.5f64..10.0) {
+        let i1 = imbalance(&t);
+        let scaled: Vec<f64> = t.iter().map(|x| x * k).collect();
+        let i2 = imbalance(&scaled);
+        prop_assert!(i1 >= -1e-12);
+        prop_assert!((i1 - i2).abs() < 1e-9);
+    }
+
+    /// Eq. 1.4 is bounded by the sequential and perfect-overlap extremes.
+    #[test]
+    fn superstep_total_between_extremes(
+        comp in 0.0f64..10.0,
+        comm in 0.0f64..10.0,
+        fc in 0.0f64..1.0,
+        fm in 0.0f64..1.0,
+        sync in 0.0f64..1.0,
+    ) {
+        let m = SuperstepModel::new(
+            vec![comp],
+            vec![comp * fc],
+            vec![comm],
+            vec![comm * fm],
+            sync,
+        );
+        let sequential = comp + comm + sync;
+        let perfect = comp.max(comm) + sync;
+        prop_assert!(m.total() <= sequential + 1e-12);
+        prop_assert!(m.total() >= perfect - 1e-12);
+    }
+
+    /// Median and quantiles are order statistics: bounded by min/max and
+    /// invariant under permutation.
+    #[test]
+    fn quantile_bounds(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..50), q in 0.0f64..1.0) {
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let v = quantile(&xs, q);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        let m1 = median(&xs);
+        xs.reverse();
+        prop_assert_eq!(m1, median(&xs));
+    }
+
+    /// Regression recovers exact lines regardless of slope/intercept.
+    #[test]
+    fn regression_recovers_lines(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+        let pts: Vec<(f64, f64)> = (0..12).map(|i| (i as f64, a + b * i as f64)).collect();
+        let f = LinearFit::fit(&pts);
+        prop_assert!((f.intercept - a).abs() < 1e-6 * (1.0 + a.abs()));
+        prop_assert!((f.slope - b).abs() < 1e-6 * (1.0 + b.abs()));
+    }
+
+    /// Decomposition blocks always tile the grid exactly.
+    #[test]
+    fn decomposition_tiles(n in 16usize..512, p in 1usize..32) {
+        prop_assume!(n / p >= 4);
+        let d = Decomposition::new(n, p);
+        let total: usize = (0..d.p()).map(|r| d.block(r).cells()).sum();
+        prop_assert_eq!(total, n * n);
+        // Region split conserves cells.
+        for r in 0..d.p() {
+            prop_assert_eq!(d.regions(r).total(), d.block(r).cells());
+        }
+    }
+
+    /// Hybrid barriers over arbitrary partitions synchronize.
+    #[test]
+    fn hybrid_barriers_synchronize(p in 4usize..32, groups in 2usize..5) {
+        prop_assume!(groups < p);
+        let mut gs: Vec<Vec<usize>> = vec![Vec::new(); groups];
+        for r in 0..p {
+            gs[r % groups].push(r);
+        }
+        let shapes = vec![GatherShape::Tree(2); groups];
+        let inter = dissemination(groups);
+        let b = hybrid_barrier(p, &gs, &shapes, Some(&inter));
+        prop_assert!(verify_synchronizes(&b).synchronizes());
+    }
+
+    /// SSS clustering partitions the ranks exactly once.
+    #[test]
+    fn sss_is_a_partition(p in 2usize..40, nodes in 1usize..6) {
+        let l = DMat::from_fn(p, p, |i, j| {
+            if i == j { 0.0 }
+            else if i % nodes == j % nodes { 1e-6 }
+            else { 1e-4 }
+        });
+        let c = sss_clusters(&l);
+        let mut seen = vec![false; p];
+        for g in &c.groups {
+            for &r in g {
+                prop_assert!(!seen[r], "rank {} twice", r);
+                seen[r] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}
