@@ -12,7 +12,7 @@ use crate::hybrid::{hybrid_barrier, GatherShape};
 use crate::patterns;
 use crate::sss::{sss_clusters, Clustering};
 use hpm_core::matrix::DMat;
-use hpm_core::pattern::BarrierPattern;
+use hpm_core::pattern::{BarrierPattern, CommPattern};
 use hpm_core::predictor::{predict_barrier, CommCosts, PayloadSchedule};
 
 /// The constructed barrier plus the decisions that produced it.
@@ -51,7 +51,11 @@ fn intra_candidates(n: usize) -> Vec<GatherShape> {
     if n <= 3 {
         vec![GatherShape::Flat]
     } else {
-        vec![GatherShape::Flat, GatherShape::Tree(2), GatherShape::Tree(4)]
+        vec![
+            GatherShape::Flat,
+            GatherShape::Tree(2),
+            GatherShape::Tree(4),
+        ]
     }
 }
 
@@ -249,7 +253,7 @@ mod tests {
                 5e-5
             }
         });
-        let o = DMat::from_fn(p, p, |i, j| if i == j { 1e-7 } else { 1e-7 });
+        let o = DMat::from_fn(p, p, |_, _| 1e-7);
         let costs = CommCosts::new(o, l, DMat::zeros(p, p));
         let rep = greedy_adaptive_barrier(&costs);
         assert_eq!(rep.clustering.len(), 2);

@@ -9,7 +9,7 @@
 
 use crate::patterns;
 use hpm_core::matrix::IMat;
-use hpm_core::pattern::BarrierPattern;
+use hpm_core::pattern::{BarrierPattern, CommPattern};
 
 /// How a subset gathers to (and is released by) its representative.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -228,12 +228,7 @@ mod tests {
 
     #[test]
     fn single_group_needs_no_inter() {
-        let b = hybrid_barrier(
-            6,
-            &[vec![0, 1, 2, 3, 4, 5]],
-            &[GatherShape::Tree(2)],
-            None,
-        );
+        let b = hybrid_barrier(6, &[vec![0, 1, 2, 3, 4, 5]], &[GatherShape::Tree(2)], None);
         assert!(verify_synchronizes(&b).synchronizes());
     }
 

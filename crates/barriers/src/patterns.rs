@@ -107,11 +107,15 @@ pub fn all_to_all(p: usize) -> BarrierPattern {
 mod tests {
     use super::*;
     use hpm_core::knowledge::verify_synchronizes;
+    use hpm_core::pattern::CommPattern;
 
     #[test]
     fn all_builders_synchronize_across_process_counts() {
         for p in 2..=33 {
-            assert!(verify_synchronizes(&linear(p, 0)).synchronizes(), "linear {p}");
+            assert!(
+                verify_synchronizes(&linear(p, 0)).synchronizes(),
+                "linear {p}"
+            );
             assert!(
                 verify_synchronizes(&dissemination(p)).synchronizes(),
                 "dissemination {p}"

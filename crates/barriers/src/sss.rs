@@ -59,7 +59,13 @@ impl Clustering {
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        writeln!(out, "clusters: {}  threshold: {:.3e} s", self.len(), self.threshold).unwrap();
+        writeln!(
+            out,
+            "clusters: {}  threshold: {:.3e} s",
+            self.len(),
+            self.threshold
+        )
+        .unwrap();
         for (k, g) in self.groups.iter().enumerate() {
             writeln!(
                 out,
@@ -100,7 +106,11 @@ fn scale_threshold(mut lats: Vec<f64>) -> Option<f64> {
 /// benchmarked `P×P` latency matrix. With no separation (single-scale
 /// platform), every process is its own group and `threshold` is 0.
 pub fn sss_clusters(latency: &DMat) -> Clustering {
-    assert_eq!(latency.rows(), latency.cols(), "latency matrix must be square");
+    assert_eq!(
+        latency.rows(),
+        latency.cols(),
+        "latency matrix must be square"
+    );
     let p = latency.rows();
     let mut lats = Vec::with_capacity(p * (p - 1));
     for i in 0..p {
@@ -209,7 +219,11 @@ mod tests {
     fn threshold_sits_between_scales() {
         let l = two_scale(8, |r| r % 2);
         let c = sss_clusters(&l);
-        assert!(c.threshold > 1.2e-6 && c.threshold < 1e-5, "{}", c.threshold);
+        assert!(
+            c.threshold > 1.2e-6 && c.threshold < 1e-5,
+            "{}",
+            c.threshold
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! here encode those qualitative bounds.
 
 use hpm_barriers::patterns::{binary_tree, dissemination, linear};
-use hpm_core::pattern::BarrierPattern;
+use hpm_core::pattern::{BarrierPattern, CommPattern};
 use hpm_core::predictor::{predict_barrier, PayloadSchedule};
 use hpm_simnet::barrier::BarrierSim;
 use hpm_simnet::microbench::{bench_platform, MicrobenchConfig};
@@ -30,11 +30,9 @@ fn run_cases(ps: &[usize]) -> Vec<Case> {
         let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, p);
         let profile = bench_platform(&params, &placement, &MicrobenchConfig::quick(), 42);
         let sim = BarrierSim::new(&params, &placement);
-        let patterns: Vec<BarrierPattern> =
-            vec![dissemination(p), binary_tree(p), linear(p, 0)];
+        let patterns: Vec<BarrierPattern> = vec![dissemination(p), binary_tree(p), linear(p, 0)];
         for pat in patterns {
-            let predicted =
-                predict_barrier(&pat, &profile.costs, &PayloadSchedule::none()).total;
+            let predicted = predict_barrier(&pat, &profile.costs, &PayloadSchedule::none()).total;
             let measured = sim.measure(&pat, &PayloadSchedule::none(), 16, 7).mean();
             out.push(Case {
                 p,

@@ -9,7 +9,13 @@ use hpm_core::predictor::CommCosts;
 
 fn two_scale_costs(p: usize, nodes: usize) -> CommCosts {
     let l = DMat::from_fn(p, p, |i, j| {
-        if i == j { 0.0 } else if i % nodes == j % nodes { 1e-6 } else { 1e-5 }
+        if i == j {
+            0.0
+        } else if i % nodes == j % nodes {
+            1e-6
+        } else {
+            1e-5
+        }
     });
     let o = DMat::from_fn(p, p, |i, j| if i == j { 3e-7 } else { 5e-7 });
     CommCosts::new(o, l, DMat::zeros(p, p))

@@ -1,0 +1,62 @@
+//! Benchmarks for the collectives subsystem hot paths: pattern
+//! construction, rooted-knowledge verification, critical-path prediction,
+//! staged simulation, and the executable allreduce through the runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpm_bsplib::runtime::BspConfig;
+use hpm_collectives::exec::run_allreduce;
+use hpm_collectives::pattern::{allreduce, catalog, total_exchange};
+use hpm_collectives::predict::{predict_collective, simulate_collective};
+use hpm_core::knowledge::verify_synchronizes;
+use hpm_core::predictor::CommCosts;
+use hpm_kernels::rate::xeon_core;
+use hpm_simnet::params::xeon_cluster_params;
+use hpm_topology::{cluster_8x2x4, Placement, PlacementPolicy};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives");
+    g.sample_size(10);
+
+    let costs = CommCosts::uniform(144, 3e-7, 5e-7, 9e-6);
+    g.bench_function("catalog_144", |b| b.iter(|| catalog(144, 0, 1024)));
+    for pat in [allreduce(144, 1024), total_exchange(144, 1024)] {
+        g.bench_function(format!("predict_{}_144", pat.name_for_id()), |b| {
+            b.iter(|| predict_collective(&pat, &costs))
+        });
+        g.bench_function(format!("verify_{}_144", pat.name_for_id()), |b| {
+            b.iter(|| verify_synchronizes(&pat))
+        });
+    }
+
+    let params = xeon_cluster_params();
+    let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 64);
+    let pat = allreduce(64, 1024);
+    g.bench_function("simulate_allreduce_64_x8", |b| {
+        b.iter(|| simulate_collective(&pat, &params, &placement, 8, 7))
+    });
+
+    let cfg = BspConfig::new(
+        params.clone(),
+        Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 16),
+        xeon_core(),
+        7,
+    );
+    g.bench_function("runtime_allreduce_p16_n4096", |b| {
+        b.iter(|| run_allreduce(&cfg, 4096))
+    });
+    g.finish();
+}
+
+trait NameForId {
+    fn name_for_id(&self) -> String;
+}
+
+impl NameForId for hpm_collectives::pattern::CollectivePattern {
+    fn name_for_id(&self) -> String {
+        use hpm_core::pattern::CommPattern;
+        self.name().replace('-', "_")
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

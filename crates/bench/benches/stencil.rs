@@ -21,8 +21,16 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("mpi_stencil_p16_n2048_x2", |b| {
         b.iter(|| {
-            run_mpi_stencil(&params, &placement, &model, 2048, 2,
-                MpiVariant::Blocking2Stage, 1.0, 3)
+            run_mpi_stencil(
+                &params,
+                &placement,
+                &model,
+                2048,
+                2,
+                MpiVariant::Blocking2Stage,
+                1.0,
+                3,
+            )
         })
     });
     g.finish();

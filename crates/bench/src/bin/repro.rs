@@ -56,7 +56,11 @@ fn main() {
             }
         }
     }
-    println!("done: {} experiments in {:.1}s", ids.len(), t0.elapsed().as_secs_f64());
+    println!(
+        "done: {} experiments in {:.1}s",
+        ids.len(),
+        t0.elapsed().as_secs_f64()
+    );
 }
 
 fn usage() {

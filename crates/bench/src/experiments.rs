@@ -16,8 +16,11 @@ use hpm_barriers::sss::sss_clusters;
 use hpm_bsplib::bench::bspbench;
 use hpm_bsplib::inprod::bspinprod;
 use hpm_bsplib::runtime::BspConfig;
+use hpm_collectives::exec::run_allreduce;
+use hpm_collectives::pattern::catalog;
+use hpm_collectives::predict::{predict_collective, simulate_collective};
 use hpm_core::classic::ClassicBsp;
-use hpm_core::pattern::BarrierPattern;
+use hpm_core::pattern::{BarrierPattern, CommPattern};
 use hpm_core::predictor::{predict_barrier, PayloadSchedule};
 use hpm_core::superstep::SuperstepModel;
 use hpm_kernels::blas1::Axpy;
@@ -104,11 +107,7 @@ fn xeon_cfg(p: usize, seed: u64) -> BspConfig {
     )
 }
 
-fn profile_of(
-    params: &PlatformParams,
-    placement: &Placement,
-    effort: &Effort,
-) -> PlatformProfile {
+fn profile_of(params: &PlatformParams, placement: &Placement, effort: &Effort) -> PlatformProfile {
     bench_platform(params, placement, &effort.micro, SEED)
 }
 
@@ -170,7 +169,10 @@ pub fn fig4_2(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
             .map(|_| timer.time_batch(&Axpy, &mut state, reps))
             .collect();
         let secs = median(&samples) / reps as f64;
-        t.push(vec![n.to_string(), format!("{:.2}", Axpy.flops(n) / secs / 1e6)]);
+        t.push(vec![
+            n.to_string(),
+            format!("{:.2}", Axpy.flops(n) / secs / 1e6),
+        ]);
     }
     vec![write_csv(dir, "fig4_2", &t)]
 }
@@ -361,7 +363,9 @@ fn bsp_sync_sweep(
         let sim = BarrierSim::new(params, &placement);
         let pat = dissemination(p);
         let payload = PayloadSchedule::dissemination_count_map(p);
-        let meas = sim.measure(&pat, &payload, effort.barrier_reps, SEED).mean();
+        let meas = sim
+            .measure(&pat, &payload, effort.barrier_reps, SEED)
+            .mean();
         let est = predict_barrier(&pat, &profile.costs, &payload).total;
         t.push(vec![p.to_string(), fmt(meas), fmt(est)]);
         p += stride;
@@ -456,10 +460,9 @@ fn hybrid_sweep(
         let sim = BarrierSim::new(params, &placement);
         let mut row = vec![p.to_string()];
         for (_, pat) in std_patterns(p) {
-            row.push(fmt(
-                sim.measure(&pat, &PayloadSchedule::none(), effort.barrier_reps, SEED)
-                    .mean(),
-            ));
+            row.push(fmt(sim
+                .measure(&pat, &PayloadSchedule::none(), effort.barrier_reps, SEED)
+                .mean()));
         }
         let clustering = sss_clusters(&profile.costs.l);
         let hybrid = if clustering.len() > 1 && clustering.len() < p {
@@ -467,10 +470,9 @@ fn hybrid_sweep(
         } else {
             dissemination(p)
         };
-        row.push(fmt(
-            sim.measure(&hybrid, &PayloadSchedule::none(), effort.barrier_reps, SEED)
-                .mean(),
-        ));
+        row.push(fmt(sim
+            .measure(&hybrid, &PayloadSchedule::none(), effort.barrier_reps, SEED)
+            .mean()));
         t.push(row);
         p += stride;
     }
@@ -517,7 +519,12 @@ fn adapted_sweep(
         let sim = BarrierSim::new(params, &placement);
         let report = greedy_adaptive_barrier(&profile.costs);
         let adapted = sim
-            .measure(&report.pattern, &PayloadSchedule::none(), effort.barrier_reps, SEED)
+            .measure(
+                &report.pattern,
+                &PayloadSchedule::none(),
+                effort.barrier_reps,
+                SEED,
+            )
             .mean();
         let best_default = std_patterns(p)
             .into_iter()
@@ -580,14 +587,30 @@ pub fn table8_2(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
     for p in stencil_p_set() {
         let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, p);
         let mpi = run_mpi_stencil(
-            &params, &placement, &model, LARGE_N, effort.stencil_iters,
-            MpiVariant::Blocking2Stage, 1.0, SEED,
+            &params,
+            &placement,
+            &model,
+            LARGE_N,
+            effort.stencil_iters,
+            MpiVariant::Blocking2Stage,
+            1.0,
+            SEED,
         );
         let mpir = run_mpi_stencil(
-            &params, &placement, &model, LARGE_N, effort.stencil_iters,
-            MpiVariant::EarlyRequests, 1.0, SEED,
+            &params,
+            &placement,
+            &model,
+            LARGE_N,
+            effort.stencil_iters,
+            MpiVariant::EarlyRequests,
+            1.0,
+            SEED,
         );
-        t.push(vec![p.to_string(), fmt(mpi.mean_iter()), fmt(mpir.mean_iter())]);
+        t.push(vec![
+            p.to_string(),
+            fmt(mpi.mean_iter()),
+            fmt(mpir.mean_iter()),
+        ]);
     }
     vec![write_csv(dir, "table8_2", &t)]
 }
@@ -597,45 +620,84 @@ fn scaling_table(dir: &Path, name: &str, n: usize, impls: &[&str], effort: &Effo
     let model = xeon_core();
     let mut header = vec!["P".to_string()];
     header.extend(impls.iter().map(|s| s.to_string()));
-    let mut t = CsvTable { header, rows: Vec::new() };
+    let mut t = CsvTable {
+        header,
+        rows: Vec::new(),
+    };
     for p in stencil_p_set() {
         let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, p);
         let mut row = vec![p.to_string()];
         for &im in impls {
             let time = match im {
                 "BSP-hp" => run_bsp_stencil(
-                    &xeon_cfg(p, SEED), n, effort.stencil_iters,
-                    CommitDiscipline::EarlyUnbuffered, false,
-                ).mean_iter(),
+                    &xeon_cfg(p, SEED),
+                    n,
+                    effort.stencil_iters,
+                    CommitDiscipline::EarlyUnbuffered,
+                    false,
+                )
+                .mean_iter(),
                 "BSP-buf" => run_bsp_stencil(
-                    &xeon_cfg(p, SEED), n, effort.stencil_iters,
-                    CommitDiscipline::EarlyBuffered, false,
-                ).mean_iter(),
+                    &xeon_cfg(p, SEED),
+                    n,
+                    effort.stencil_iters,
+                    CommitDiscipline::EarlyBuffered,
+                    false,
+                )
+                .mean_iter(),
                 "BSP-late" => run_bsp_stencil(
-                    &xeon_cfg(p, SEED), n, effort.stencil_iters,
-                    CommitDiscipline::Late, false,
-                ).mean_iter(),
+                    &xeon_cfg(p, SEED),
+                    n,
+                    effort.stencil_iters,
+                    CommitDiscipline::Late,
+                    false,
+                )
+                .mean_iter(),
                 "MPI" => run_mpi_stencil(
-                    &params, &placement, &model, n, effort.stencil_iters,
-                    MpiVariant::Blocking2Stage, 1.0, SEED,
-                ).mean_iter(),
+                    &params,
+                    &placement,
+                    &model,
+                    n,
+                    effort.stencil_iters,
+                    MpiVariant::Blocking2Stage,
+                    1.0,
+                    SEED,
+                )
+                .mean_iter(),
                 "MPI+R" => run_mpi_stencil(
-                    &params, &placement, &model, n, effort.stencil_iters,
-                    MpiVariant::EarlyRequests, 1.0, SEED,
-                ).mean_iter(),
+                    &params,
+                    &placement,
+                    &model,
+                    n,
+                    effort.stencil_iters,
+                    MpiVariant::EarlyRequests,
+                    1.0,
+                    SEED,
+                )
+                .mean_iter(),
                 "Hybrid" => {
                     if p % cluster_8x2x4().cores_per_node() == 0 {
                         run_hybrid_stencil(
-                            &params, cluster_8x2x4(), &model, n,
-                            effort.stencil_iters, p, SEED,
-                        ).mean_iter()
+                            &params,
+                            cluster_8x2x4(),
+                            &model,
+                            n,
+                            effort.stencil_iters,
+                            p,
+                            SEED,
+                        )
+                        .mean_iter()
                     } else {
                         f64::NAN // hybrid uses whole nodes only
                     }
                 }
                 other => panic!("unknown implementation {other}"),
             };
-            row.push(if time.is_nan() { String::new() } else { fmt(time) });
+            row.push(if time.is_nan() {
+                String::new()
+            } else {
+                fmt(time)
+            });
         }
         t.push(row);
     }
@@ -645,24 +707,33 @@ fn scaling_table(dir: &Path, name: &str, n: usize, impls: &[&str], effort: &Effo
 /// Fig. 8.4 (A1): all implementations, large problem.
 pub fn fig8_4(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
     vec![scaling_table(
-        dir, "fig8_4_A1", LARGE_N,
-        &["BSP-hp", "BSP-buf", "BSP-late", "MPI", "MPI+R", "Hybrid"], effort,
+        dir,
+        "fig8_4_A1",
+        LARGE_N,
+        &["BSP-hp", "BSP-buf", "BSP-late", "MPI", "MPI+R", "Hybrid"],
+        effort,
     )]
 }
 
 /// Fig. 8.5 (A2): BSP implementations only, large problem.
 pub fn fig8_5(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
     vec![scaling_table(
-        dir, "fig8_5_A2", LARGE_N,
-        &["BSP-hp", "BSP-buf", "BSP-late"], effort,
+        dir,
+        "fig8_5_A2",
+        LARGE_N,
+        &["BSP-hp", "BSP-buf", "BSP-late"],
+        effort,
     )]
 }
 
 /// Fig. 8.6 (A3): selected implementations, small problem.
 pub fn fig8_6(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
     vec![scaling_table(
-        dir, "fig8_6_A3", SMALL_N,
-        &["BSP-hp", "MPI", "MPI+R"], effort,
+        dir,
+        "fig8_6_A3",
+        SMALL_N,
+        &["BSP-hp", "MPI", "MPI+R"],
+        effort,
     )]
 }
 
@@ -670,8 +741,11 @@ pub fn fig8_6(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
 /// problem.
 pub fn fig8_7(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
     vec![scaling_table(
-        dir, "fig8_7_A4", SMALL_N,
-        &["BSP-hp", "MPI+R", "Hybrid"], effort,
+        dir,
+        "fig8_7_A4",
+        SMALL_N,
+        &["BSP-hp", "MPI+R", "Hybrid"],
+        effort,
     )]
 }
 
@@ -721,18 +795,66 @@ pub fn fig8_10_to_8_15(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
     let xeon = xeon_cluster_params();
     let opteron = opteron_cluster_params();
     vec![
-        prediction_sweep(dir, "fig8_10_B1", &xeon, cluster_8x2x4(), &xeon_core(),
-            LARGE_N, CommitDiscipline::EarlyUnbuffered, effort),
-        prediction_sweep(dir, "fig8_11_B2", &xeon, cluster_8x2x4(), &xeon_core(),
-            SMALL_N, CommitDiscipline::EarlyUnbuffered, effort),
-        prediction_sweep(dir, "fig8_12_B3", &opteron, cluster_12x2x6(), &opteron_core(),
-            LARGE_N, CommitDiscipline::EarlyUnbuffered, effort),
-        prediction_sweep(dir, "fig8_13_B4", &opteron, cluster_12x2x6(), &opteron_core(),
-            SMALL_N, CommitDiscipline::EarlyUnbuffered, effort),
-        prediction_sweep(dir, "fig8_14_B5", &xeon, cluster_8x2x4(), &xeon_core(),
-            LARGE_N, CommitDiscipline::Late, effort),
-        prediction_sweep(dir, "fig8_15_B6", &xeon, cluster_8x2x4(), &xeon_core(),
-            SMALL_N, CommitDiscipline::Late, effort),
+        prediction_sweep(
+            dir,
+            "fig8_10_B1",
+            &xeon,
+            cluster_8x2x4(),
+            &xeon_core(),
+            LARGE_N,
+            CommitDiscipline::EarlyUnbuffered,
+            effort,
+        ),
+        prediction_sweep(
+            dir,
+            "fig8_11_B2",
+            &xeon,
+            cluster_8x2x4(),
+            &xeon_core(),
+            SMALL_N,
+            CommitDiscipline::EarlyUnbuffered,
+            effort,
+        ),
+        prediction_sweep(
+            dir,
+            "fig8_12_B3",
+            &opteron,
+            cluster_12x2x6(),
+            &opteron_core(),
+            LARGE_N,
+            CommitDiscipline::EarlyUnbuffered,
+            effort,
+        ),
+        prediction_sweep(
+            dir,
+            "fig8_13_B4",
+            &opteron,
+            cluster_12x2x6(),
+            &opteron_core(),
+            SMALL_N,
+            CommitDiscipline::EarlyUnbuffered,
+            effort,
+        ),
+        prediction_sweep(
+            dir,
+            "fig8_14_B5",
+            &xeon,
+            cluster_8x2x4(),
+            &xeon_core(),
+            LARGE_N,
+            CommitDiscipline::Late,
+            effort,
+        ),
+        prediction_sweep(
+            dir,
+            "fig8_15_B6",
+            &xeon,
+            cluster_8x2x4(),
+            &xeon_core(),
+            SMALL_N,
+            CommitDiscipline::Late,
+            effort,
+        ),
     ]
 }
 
@@ -753,7 +875,11 @@ pub fn fig8_18(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
     );
     let mut t = CsvTable::new(&["ghost_width", "predicted_s_per_iter", "measured_s_per_iter"]);
     for (k, &w) in sweep.widths.iter().enumerate() {
-        t.push(vec![w.to_string(), fmt(sweep.predicted[k]), fmt(sweep.measured[k])]);
+        t.push(vec![
+            w.to_string(),
+            fmt(sweep.predicted[k]),
+            fmt(sweep.measured[k]),
+        ]);
     }
     let note = format!(
         "model-selected width: {}\nmeasured optimum:     {}\n",
@@ -766,6 +892,90 @@ pub fn fig8_18(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
     ]
 }
 
+// ---------------------------------------------------- collectives (ext.)
+
+/// Predicted vs simulated collective-operation costs across topologies —
+/// the collectives extension of the Ch. 5/6 validation: the same
+/// microbenchmark → predict → simulate → compare pipeline as the barrier
+/// sweeps, applied to the full collective catalog on a homogeneous
+/// single-socket placement, a heterogeneous two-node placement and the
+/// full multi-node cluster, on both test machines.
+pub fn collectives_predict_vs_sim(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    let bytes = 1024u64;
+    let mut t = CsvTable::new(&[
+        "machine",
+        "topology",
+        "P",
+        "collective",
+        "predicted_s",
+        "simulated_s",
+        "rel_err",
+    ]);
+    let machines: [(&str, PlatformParams, hpm_topology::ClusterShape); 2] = [
+        ("xeon-8x2x4", xeon_cluster_params(), cluster_8x2x4()),
+        ("opteron-12x2x6", opteron_cluster_params(), cluster_12x2x6()),
+    ];
+    for (machine, params, shape) in machines {
+        let cpn = shape.cores_per_node();
+        let cases = [
+            ("homogeneous-1socket", shape.cores_per_socket()),
+            ("heterogeneous-2node", 2 * cpn),
+            ("multi-cluster", shape.total_cores()),
+        ];
+        for (topology, p) in cases {
+            let placement = Placement::new(shape, PlacementPolicy::RoundRobin, p);
+            let profile = profile_of(&params, &placement, effort);
+            for pat in catalog(p, 0, bytes) {
+                let pred = predict_collective(&pat, &profile.costs).total;
+                let sim = simulate_collective(&pat, &params, &placement, effort.barrier_reps, SEED)
+                    .mean();
+                t.push(vec![
+                    machine.to_string(),
+                    topology.to_string(),
+                    p.to_string(),
+                    pat.name().to_string(),
+                    fmt(pred),
+                    fmt(sim),
+                    format!("{:.4}", (pred - sim) / sim),
+                ]);
+            }
+        }
+    }
+    vec![write_csv(dir, "collectives_predict_vs_sim", &t)]
+}
+
+/// Allreduce through the full BSPlib runtime (real payload, count-map
+/// sync, background transfers) vs the pattern-level prediction — the
+/// end-to-end counterpart of `collectives_predict_vs_sim`.
+pub fn collectives_runtime(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    let params = xeon_cluster_params();
+    let n = 4096; // 32 KiB vector
+    let mut t = CsvTable::new(&["P", "runtime_s", "pattern_pred_s", "supersteps"]);
+    let max = cluster_8x2x4().total_cores();
+    let mut ps: Vec<usize> = (2..=max).step_by(effort.stride_small.max(6)).collect();
+    if ps.last() != Some(&max) {
+        ps.push(max); // always include the full machine
+    }
+    for p in ps {
+        let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, p);
+        let profile = profile_of(&params, &placement, effort);
+        let cfg = BspConfig::new(params.clone(), placement, xeon_core(), SEED);
+        let run = run_allreduce(&cfg, n);
+        let pred = predict_collective(
+            &hpm_collectives::pattern::allreduce(p, 8 * n as u64),
+            &profile.costs,
+        )
+        .total;
+        t.push(vec![
+            p.to_string(),
+            fmt(run.total_time),
+            fmt(pred),
+            run.supersteps.to_string(),
+        ]);
+    }
+    vec![write_csv(dir, "collectives_runtime", &t)]
+}
+
 // ---------------------------------------------------------------- driver
 
 type ExperimentFn = fn(&Path, &Effort) -> Vec<PathBuf>;
@@ -773,19 +983,59 @@ type ExperimentFn = fn(&Path, &Effort) -> Vec<PathBuf>;
 /// The full experiment registry: `(id, description, function)`.
 pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
     vec![
-        ("table3_1", "BSPBench parameter values, 8x2x4 cluster", table3_1),
-        ("fig3_2", "inner product: timings vs classic BSP estimates", fig3_2),
-        ("fig4_2", "bspbench computation rates vs vector size (host)", fig4_2),
-        ("fig4_3", "kernel rates and predictions, 2 kernels (host)", fig4_3_4_4),
+        (
+            "table3_1",
+            "BSPBench parameter values, 8x2x4 cluster",
+            table3_1,
+        ),
+        (
+            "fig3_2",
+            "inner product: timings vs classic BSP estimates",
+            fig3_2,
+        ),
+        (
+            "fig4_2",
+            "bspbench computation rates vs vector size (host)",
+            fig4_2,
+        ),
+        (
+            "fig4_3",
+            "kernel rates and predictions, 2 kernels (host)",
+            fig4_3_4_4,
+        ),
         ("fig4_5", "L1 BLAS, in-cache problem sizes (host)", fig4_5),
-        ("fig4_6", "L1 BLAS, out-of-cache problem sizes (host)", fig4_6),
-        ("fig5_2", "4-process barrier patterns in matrix form", fig5_2_3_4),
-        ("fig5_6", "barrier timings/predictions/errors, 8x2x4", fig5_6_to_5_9),
-        ("fig5_10", "barrier timings/predictions/errors, 12x2x6", fig5_10_to_5_13),
+        (
+            "fig4_6",
+            "L1 BLAS, out-of-cache problem sizes (host)",
+            fig4_6,
+        ),
+        (
+            "fig5_2",
+            "4-process barrier patterns in matrix form",
+            fig5_2_3_4,
+        ),
+        (
+            "fig5_6",
+            "barrier timings/predictions/errors, 8x2x4",
+            fig5_6_to_5_9,
+        ),
+        (
+            "fig5_10",
+            "barrier timings/predictions/errors, 12x2x6",
+            fig5_10_to_5_13,
+        ),
         ("fig6_3", "BSP sync measured vs estimate, 8x2x4", fig6_3),
         ("fig6_4", "BSP sync measured vs estimate, 12x2x6", fig6_4),
-        ("table7_1", "SSS clustering, 60 processes on 8x2x4", table7_1),
-        ("table7_2", "SSS clustering, 115 processes on 10x2x6", table7_2),
+        (
+            "table7_1",
+            "SSS clustering, 60 processes on 8x2x4",
+            table7_1,
+        ),
+        (
+            "table7_2",
+            "SSS clustering, 115 processes on 10x2x6",
+            table7_2,
+        ),
         ("fig7_4", "hybrid barrier performance, 8x2x4", fig7_4),
         ("fig7_5", "hybrid barrier performance, 12x2x6", fig7_5),
         ("fig7_6", "greedy adapted barrier, 8x2x4", fig7_6),
@@ -794,10 +1044,32 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
         ("table8_2", "MPI and MPI+R wall times", table8_2),
         ("fig8_4", "A1: strong scaling, all implementations", fig8_4),
         ("fig8_5", "A2: strong scaling, BSP implementations", fig8_5),
-        ("fig8_6", "A3: strong scaling, selected, small problem", fig8_6),
-        ("fig8_7", "A4: strong scaling, incl. hybrid, small problem", fig8_7),
-        ("fig8_10", "B1-B6: stencil prediction vs measurement", fig8_10_to_8_15),
+        (
+            "fig8_6",
+            "A3: strong scaling, selected, small problem",
+            fig8_6,
+        ),
+        (
+            "fig8_7",
+            "A4: strong scaling, incl. hybrid, small problem",
+            fig8_7,
+        ),
+        (
+            "fig8_10",
+            "B1-B6: stencil prediction vs measurement",
+            fig8_10_to_8_15,
+        ),
         ("fig8_18", "C1: ghost-width adaptation", fig8_18),
+        (
+            "collectives",
+            "predicted vs simulated collective costs",
+            collectives_predict_vs_sim,
+        ),
+        (
+            "coll_rt",
+            "allreduce through the BSPlib runtime vs prediction",
+            collectives_runtime,
+        ),
     ]
 }
 

@@ -44,8 +44,7 @@ impl BspProgram for RateProgram {
             let t0 = ctx.time();
             ctx.compute_kernel(&Axpy, n, reps);
             let t1 = ctx.time();
-            self.samples
-                .push((Axpy.flops(n) * reps as f64, t1 - t0));
+            self.samples.push((Axpy.flops(n) * reps as f64, t1 - t0));
         }
         StepOutcome::Halt
     }
@@ -102,7 +101,11 @@ pub fn bspbench(cfg: &BspConfig) -> BspBenchResult {
     .expect("rate phase runs");
     let pts: Vec<(f64, f64)> = rate_run.programs[0].samples.clone();
     let fit = LinearFit::fit(&pts);
-    let r = if fit.slope > 0.0 { 1.0 / fit.slope } else { 0.0 };
+    let r = if fit.slope > 0.0 {
+        1.0 / fit.slope
+    } else {
+        0.0
+    };
 
     // Phase 2: h-relations 0..=255 (sampled), regression in flop units.
     let h_values: Vec<usize> = (0..=255usize).step_by(17).collect();

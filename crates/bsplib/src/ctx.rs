@@ -249,9 +249,7 @@ impl<'a> BspCtx<'a> {
             "tag must match the current tag size ({} bytes)",
             self.mem.tagsize
         );
-        self.elapse(
-            ENQUEUE_OVERHEAD + (tag.len() + payload.len()) as f64 * BUFFER_COPY_PER_BYTE,
-        );
+        self.elapse(ENQUEUE_OVERHEAD + (tag.len() + payload.len()) as f64 * BUFFER_COPY_PER_BYTE);
         self.ops.push(CommOp::Send {
             issue: self.now,
             dst,
@@ -418,8 +416,7 @@ mod tests {
             let model = xeon_core();
             let mut rng = derive_rng(2, 2);
             let mut mem = ProcMem::default();
-            let mut ctx =
-                BspCtx::new(0, 2, 0.0, &model, JitterModel::NONE, &mut rng, &mut mem);
+            let mut ctx = BspCtx::new(0, 2, 0.0, &model, JitterModel::NONE, &mut rng, &mut mem);
             ctx.abort("boom");
             let (now, ops, abort) = ctx.finish();
             assert_eq!(abort.as_deref(), Some("boom"));

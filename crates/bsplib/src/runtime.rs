@@ -104,7 +104,11 @@ impl SuperstepTrace {
     /// into it (the previous step's latest completion is the caller's
     /// reference; within a trace we report the collective span).
     pub fn span(&self, prev_max_completion: f64) -> f64 {
-        let end = self.completion.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let end = self
+            .completion
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         end - prev_max_completion
     }
 }
@@ -295,8 +299,7 @@ pub fn run_spmd<P: BspProgram>(
                 ..
             } = op
             {
-                mems[pid].write(*dst_reg)[*dst_offset..*dst_offset + *len]
-                    .copy_from_slice(&data);
+                mems[pid].write(*dst_reg)[*dst_offset..*dst_offset + *len].copy_from_slice(&data);
             }
         }
         for &(_, op) in &flat_ops {
@@ -428,7 +431,14 @@ mod tests {
                 1 => {
                     let p = ctx.nprocs();
                     let from = (ctx.pid() + 1) % p;
-                    ctx.get(from, self.src.expect("reg"), 0, self.dst.expect("reg"), 0, 1);
+                    ctx.get(
+                        from,
+                        self.src.expect("reg"),
+                        0,
+                        self.dst.expect("reg"),
+                        0,
+                        1,
+                    );
                     self.step = 2;
                     StepOutcome::Continue
                 }

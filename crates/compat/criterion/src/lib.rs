@@ -1,0 +1,177 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of criterion's API the workspace benches
+//! use: `Criterion::benchmark_group`, `sample_size`, `bench_function`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Instead of criterion's statistical engine it
+//! runs each closure a fixed number of times and prints the mean — enough
+//! for `cargo bench` to produce comparable numbers and for the bench
+//! targets to stay compiling under `--all-targets` builds.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Criterion {
+        run_one("", &id.into(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named group sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut BenchmarkGroup {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times one benchmark function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut BenchmarkGroup {
+        run_one(&self.name, &id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is per-bench).
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; `iter` times the workload.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` once as warm-up, then `sample_size` timed passes.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if b.samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+    let min = b.samples.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "{label:<48} mean {:>12} min {:>12} ({} samples)",
+        fmt_time(mean),
+        fmt_time(min),
+        b.samples.len()
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("count", |b| b.iter(|| calls += 1));
+        g.finish();
+        // 1 warm-up + 3 timed.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn time_formatting_covers_scales() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("µs"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,219 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides exactly the API surface the workspace uses: a seedable
+//! deterministic [`rngs::StdRng`] plus the [`Rng`]/[`SeedableRng`] traits
+//! with `gen`, `gen_range` and `next_u64`. The generator is xoshiro256++
+//! rather than upstream's ChaCha12 — every consumer in this workspace
+//! seeds explicitly and depends only on determinism, never on matching
+//! upstream's stream.
+
+use std::ops::Range;
+
+/// Core randomness source: everything is derived from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Seed type (32 bytes for [`rngs::StdRng`], as upstream).
+    type Seed;
+
+    /// Builds a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+}
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of a standard-distribution type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::gen_from(self)
+    }
+
+    /// Samples uniformly from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable by `Rng::gen`.
+pub trait Standard: Sized {
+    fn gen_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn gen_from<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn gen_from<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn gen_from<R: RngCore + ?Sized>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn gen_from<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn gen_from<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types samplable by `Rng::gen_range` over a half-open range.
+pub trait SampleUniform: Sized {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = range.end.abs_diff(range.start) as u64;
+                // Modulo bias is negligible for the span sizes used here.
+                range.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<f64>) -> f64 {
+        assert!(
+            range.start < range.end && range.start.is_finite() && range.end.is_finite(),
+            "cannot sample range {:?}",
+            range
+        );
+        let f: f64 = f64::gen_from(rng);
+        let v = range.start + f * (range.end - range.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= range.end {
+            range.start
+        } else {
+            v
+        }
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            let mut s = [0u64; 4];
+            for (k, chunk) in seed.chunks(8).enumerate() {
+                s[k] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // The all-zero state is a fixed point of xoshiro; remix it.
+            if s.iter().all(|&w| w == 0) {
+                let mut z = 0x9E37_79B9_7F4A_7C15u64;
+                for w in s.iter_mut() {
+                    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    let mut x = z;
+                    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    *w = x ^ (x >> 31);
+                }
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    fn rng(tag: u8) -> StdRng {
+        StdRng::from_seed([tag; 32])
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = rng(1);
+        let mut b = rng(1);
+        let av: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let bv: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        assert_eq!(av, bv);
+    }
+
+    #[test]
+    fn streams_differ_across_seeds() {
+        let mut a = rng(1);
+        let mut b = rng(2);
+        let av: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let bv: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = rng(3);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = rng(4);
+        for _ in 0..10_000 {
+            let x = r.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(y > 0.0 && y < 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remixed() {
+        let mut r = StdRng::from_seed([0; 32]);
+        assert_ne!(r.gen::<u64>(), 0);
+    }
+}

@@ -1,4 +1,5 @@
-//! Knowledge-matrix correctness verification (Eqs. 5.1–5.2).
+//! Knowledge-matrix correctness verification (Eqs. 5.1–5.2), generalized
+//! to rooted and prefix knowledge goals.
 //!
 //! A barrier is correct iff no process can leave before every process has
 //! arrived. The thesis checks this algebraically: let `K(i, j)` count the
@@ -13,9 +14,33 @@
 //! After the final stage the barrier synchronizes iff `K` is all-nonzero.
 //! Because counts are path counts they can grow exponentially with stage
 //! count, so we accumulate in saturating `u64`.
+//!
+//! Collective operations need weaker, *rooted* variants of the same test:
+//! a reduce is correct when the root has a signal path from every process
+//! (`K(root, ·)` all-nonzero), a broadcast when every process has a path
+//! from the root (`K(·, root)` all-nonzero), and a prefix scan when every
+//! process has a path from each of its predecessors (lower triangle
+//! all-nonzero). [`KnowledgeGoal`] names these variants and
+//! [`KnowledgeTrace::satisfies`] checks them, so every pattern — barrier
+//! or collective — flows through one verifier.
 
 use crate::matrix::IMat;
-use crate::pattern::BarrierPattern;
+use crate::pattern::CommPattern;
+
+/// What a pattern must guarantee to be correct: which knowledge pairs must
+/// be established by its final stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnowledgeGoal {
+    /// Every process knows of every arrival — barriers, allreduce,
+    /// allgather, total exchange.
+    AllToAll,
+    /// The root knows of every arrival — reduce, gather.
+    RootGathers(usize),
+    /// Every process knows of the root's arrival — broadcast, scatter.
+    RootReaches(usize),
+    /// Process `i` knows of every arrival `j ≤ i` — prefix scans.
+    Prefix,
+}
 
 /// Outcome of a knowledge-matrix verification.
 #[derive(Debug, Clone)]
@@ -40,6 +65,36 @@ impl KnowledgeTrace {
         self.counts.iter().all(|&c| c > 0)
     }
 
+    /// True iff `root` knows of every process' arrival — the gather-side
+    /// rooted goal (all data can reach the root).
+    pub fn root_gathers(&self, root: usize) -> bool {
+        assert!(root < self.p, "root out of range");
+        (0..self.p).all(|j| self.count(root, j) > 0)
+    }
+
+    /// True iff every process knows of `root`'s arrival — the
+    /// broadcast-side rooted goal (the root's data can reach everyone).
+    pub fn root_reaches(&self, root: usize) -> bool {
+        assert!(root < self.p, "root out of range");
+        (0..self.p).all(|i| self.count(i, root) > 0)
+    }
+
+    /// True iff every process knows of all its predecessors (inclusive
+    /// prefix property: `K(i, j) > 0` for every `j ≤ i`).
+    pub fn prefix_complete(&self) -> bool {
+        (0..self.p).all(|i| (0..=i).all(|j| self.count(i, j) > 0))
+    }
+
+    /// Checks a named goal.
+    pub fn satisfies(&self, goal: KnowledgeGoal) -> bool {
+        match goal {
+            KnowledgeGoal::AllToAll => self.synchronizes(),
+            KnowledgeGoal::RootGathers(r) => self.root_gathers(r),
+            KnowledgeGoal::RootReaches(r) => self.root_reaches(r),
+            KnowledgeGoal::Prefix => self.prefix_complete(),
+        }
+    }
+
     /// Pairs `(i, j)` where i never learns of j's arrival — the failure
     /// trace §5.5 describes as a debugging aid.
     pub fn unknown_pairs(&self) -> Vec<(usize, usize)> {
@@ -61,8 +116,8 @@ impl KnowledgeTrace {
     }
 }
 
-/// Runs the Eq. 5.1/5.2 recurrence over a pattern.
-pub fn verify_synchronizes(pattern: &BarrierPattern) -> KnowledgeTrace {
+/// Runs the Eq. 5.1/5.2 recurrence over any staged pattern.
+pub fn verify_synchronizes<P: CommPattern + ?Sized>(pattern: &P) -> KnowledgeTrace {
     let p = pattern.p();
     let mut counts = vec![0u64; p * p];
     let mut first_known = vec![usize::MAX; p * p];
@@ -71,17 +126,28 @@ pub fn verify_synchronizes(pattern: &BarrierPattern) -> KnowledgeTrace {
         counts[i * p + i] = 1;
         first_known[i * p + i] = 0;
     }
-    for (stage_idx, stage) in pattern.iter().enumerate() {
+    for stage_idx in 0..pattern.stages() {
         // K ← K + K × S. In index form: when i signals j in this stage,
         // everything i knows flows to j: add(j, *) += K(i, *).
         let snapshot = counts.clone();
-        apply_stage(&snapshot, &mut counts, &mut first_known, stage, stage_idx);
+        apply_stage(
+            &snapshot,
+            &mut counts,
+            &mut first_known,
+            pattern.stage(stage_idx),
+            stage_idx,
+        );
     }
     KnowledgeTrace {
         counts,
         p,
         first_known,
     }
+}
+
+/// Convenience: verifies a pattern against a named knowledge goal.
+pub fn verify_goal<P: CommPattern + ?Sized>(pattern: &P, goal: KnowledgeGoal) -> bool {
+    verify_synchronizes(pattern).satisfies(goal)
 }
 
 fn apply_stage(
@@ -112,6 +178,7 @@ fn apply_stage(
 mod tests {
     use super::*;
     use crate::matrix::IMat;
+    use crate::pattern::BarrierPattern;
 
     fn linear(p: usize) -> BarrierPattern {
         let gather: Vec<(usize, usize)> = (1..p).map(|i| (i, 0)).collect();
@@ -127,8 +194,7 @@ mod tests {
         let stages = (p as f64).log2().ceil() as usize;
         let mats = (0..stages)
             .map(|s| {
-                let edges: Vec<(usize, usize)> =
-                    (0..p).map(|i| (i, (i + (1 << s)) % p)).collect();
+                let edges: Vec<(usize, usize)> = (0..p).map(|i| (i, (i + (1 << s)) % p)).collect();
                 IMat::from_edges(p, &edges)
             })
             .collect();
@@ -167,13 +233,79 @@ mod tests {
     }
 
     #[test]
+    fn gather_alone_satisfies_only_the_rooted_goal() {
+        // The broken barrier above is a perfectly good gather pattern:
+        // the root knows all, nobody else learns anything new.
+        let p = 4;
+        let gather = IMat::from_edges(p, &[(1, 0), (2, 0), (3, 0)]);
+        let b = BarrierPattern::new("gather", p, vec![gather]);
+        let t = verify_synchronizes(&b);
+        assert!(t.satisfies(KnowledgeGoal::RootGathers(0)));
+        assert!(!t.satisfies(KnowledgeGoal::RootReaches(0)));
+        assert!(!t.satisfies(KnowledgeGoal::AllToAll));
+        assert!(!t.satisfies(KnowledgeGoal::RootGathers(1)));
+    }
+
+    #[test]
+    fn release_alone_satisfies_only_the_broadcast_goal() {
+        let p = 4;
+        let release = IMat::from_edges(p, &[(0, 1), (0, 2), (0, 3)]);
+        let b = BarrierPattern::new("release", p, vec![release]);
+        let t = verify_synchronizes(&b);
+        assert!(t.satisfies(KnowledgeGoal::RootReaches(0)));
+        assert!(!t.satisfies(KnowledgeGoal::RootGathers(0)));
+        assert!(!t.satisfies(KnowledgeGoal::AllToAll));
+    }
+
+    #[test]
+    fn chain_satisfies_the_prefix_goal() {
+        // i → i+1 in sequence: exactly the inclusive-scan dependency.
+        let p = 5;
+        let stages: Vec<IMat> = (0..p - 1)
+            .map(|i| IMat::from_edges(p, &[(i, i + 1)]))
+            .collect();
+        let b = BarrierPattern::new("chain", p, stages);
+        let t = verify_synchronizes(&b);
+        assert!(t.satisfies(KnowledgeGoal::Prefix));
+        assert!(!t.satisfies(KnowledgeGoal::AllToAll));
+        // The downward chain (p−1 → p−2 → … → 0, stages in that order)
+        // funnels everything into rank 0 but is not a prefix pattern.
+        let rev: Vec<IMat> = (1..p)
+            .rev()
+            .map(|i| IMat::from_edges(p, &[(i, i - 1)]))
+            .collect();
+        let r = BarrierPattern::new("rev-chain", p, rev);
+        assert!(!verify_synchronizes(&r).satisfies(KnowledgeGoal::Prefix));
+        assert!(verify_synchronizes(&r).satisfies(KnowledgeGoal::RootGathers(0)));
+    }
+
+    #[test]
+    fn full_synchronization_implies_every_goal() {
+        let t = verify_synchronizes(&dissemination(9));
+        for goal in [
+            KnowledgeGoal::AllToAll,
+            KnowledgeGoal::RootGathers(3),
+            KnowledgeGoal::RootReaches(7),
+            KnowledgeGoal::Prefix,
+        ] {
+            assert!(t.satisfies(goal), "{goal:?}");
+        }
+    }
+
+    #[test]
+    fn verify_goal_convenience_matches_trace() {
+        let b = linear(6);
+        assert!(verify_goal(&b, KnowledgeGoal::AllToAll));
+        assert!(verify_goal(&b, KnowledgeGoal::RootGathers(0)));
+    }
+
+    #[test]
     fn one_stage_too_few_dissemination_fails() {
         // ceil(log2 p) − 1 stages cannot synchronize.
         let p = 8;
         let mats: Vec<IMat> = (0..2)
             .map(|s| {
-                let edges: Vec<(usize, usize)> =
-                    (0..p).map(|i| (i, (i + (1 << s)) % p)).collect();
+                let edges: Vec<(usize, usize)> = (0..p).map(|i| (i, (i + (1 << s)) % p)).collect();
                 IMat::from_edges(p, &edges)
             })
             .collect();

@@ -19,10 +19,13 @@
 //!   Eqs. 3.9–3.13).
 //! * [`hockney`] — the heterogeneous Hockney communication model: `P×P`
 //!   latency and inverse-bandwidth matrices (§3.4, Eq. 3.14).
-//! * [`pattern`] — barrier communication patterns as sequences of stage
-//!   incidence matrices (§5.5, Figs. 5.2–5.4).
+//! * [`pattern`] — staged communication patterns as sequences of stage
+//!   incidence matrices (§5.5, Figs. 5.2–5.4): the shared
+//!   [`pattern::CommPattern`] abstraction plus the barrier-shaped
+//!   [`pattern::BarrierPattern`].
 //! * [`knowledge`] — the knowledge-matrix correctness test
-//!   `K_i = K_{i−1} + K_{i−1}·S_i` (Eqs. 5.1–5.2).
+//!   `K_i = K_{i−1} + K_{i−1}·S_i` (Eqs. 5.1–5.2), generalized to rooted
+//!   and prefix knowledge goals for collective operations.
 //! * [`predictor`] — the critical-path barrier cost predictor with the
 //!   Eq. 5.4 stage cost, both §5.6.5 refinements and the Ch. 6.5 payload
 //!   extension.
@@ -41,8 +44,8 @@ pub mod superstep;
 pub use classic::ClassicBsp;
 pub use compute::{cross_mapping_costs, imbalance, superstep_times};
 pub use hockney::{comm_times, HeteroHockney, Hockney};
-pub use knowledge::{verify_synchronizes, KnowledgeTrace};
+pub use knowledge::{verify_goal, verify_synchronizes, KnowledgeGoal, KnowledgeTrace};
 pub use matrix::{DMat, IMat};
-pub use pattern::BarrierPattern;
+pub use pattern::{BarrierPattern, CommPattern};
 pub use predictor::{predict_barrier, BarrierPrediction, CommCosts, PayloadSchedule};
 pub use superstep::{overlap_estimate, SuperstepModel};

@@ -67,13 +67,19 @@ impl DMat {
 
     /// Element access.
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         self.data[i * self.cols + j]
     }
 
     /// Element assignment.
     pub fn set(&mut self, i: usize, j: usize, v: f64) {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         self.data[i * self.cols + j] = v;
     }
 
@@ -232,7 +238,10 @@ impl IMat {
     /// Inserts an edge; rejects self-loops and out-of-range indices.
     pub fn insert(&mut self, i: usize, j: usize) {
         assert!(i < self.n && j < self.n, "edge ({i},{j}) out of range");
-        assert_ne!(i, j, "self-signal ({i},{i}) is meaningless in a barrier stage");
+        assert_ne!(
+            i, j,
+            "self-signal ({i},{i}) is meaningless in a barrier stage"
+        );
         self.data[i * self.n + j] = true;
     }
 
@@ -267,7 +276,11 @@ impl IMat {
 
     /// The matrix as a `DMat` of zeros and ones, for algebraic use.
     pub fn to_dmat(&self) -> DMat {
-        DMat::from_fn(self.n, self.n, |i, j| if self.get(i, j) { 1.0 } else { 0.0 })
+        DMat::from_fn(
+            self.n,
+            self.n,
+            |i, j| if self.get(i, j) { 1.0 } else { 0.0 },
+        )
     }
 }
 

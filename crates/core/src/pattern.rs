@@ -1,15 +1,88 @@
-//! Barrier communication patterns as stage-sequenced incidence matrices
-//! (§5.5).
+//! Stage-sequenced communication patterns (§5.5).
 //!
-//! Any barrier algorithm is a layered dependency graph: a sequence of
-//! `P×P` incidence matrices `S_0, S_1, …`, where `S_k(i, j) = 1` means
+//! Any staged communication algorithm — a barrier, a broadcast, a
+//! reduction — is a layered dependency graph: a sequence of `P×P`
+//! incidence matrices `S_0, S_1, …`, where `S_k(i, j) = 1` means
 //! "process i signals process j in stage k". The encoding captures both
 //! the sequential dependencies (the stage sequence) and the signals that
 //! may be in flight simultaneously (within a stage) — everything a
 //! simulator or cost predictor needs, independent of the algorithm that
 //! generated it.
+//!
+//! [`CommPattern`] is the shared abstraction: anything exposing its stages
+//! as incidence matrices flows through the same knowledge-matrix
+//! verification ([`crate::knowledge`]), critical-path cost prediction
+//! ([`crate::predictor`]) and staged simulation unchanged.
+//! [`BarrierPattern`] is the barrier-shaped implementation; the collective
+//! operations of `hpm-collectives` provide another.
 
 use crate::matrix::IMat;
+
+/// A staged communication pattern: a sequence of `P×P` incidence matrices.
+///
+/// Implementors supply the four accessors; the derived structure queries
+/// (`total_signals`, `last_send_stage`, `render`) come for free and are
+/// what the predictor and verifier build on. The trait is object-safe so
+/// heterogeneous pattern collections can be handled through `&dyn
+/// CommPattern`.
+pub trait CommPattern {
+    /// Descriptive name (e.g. `dissemination`, `allreduce`).
+    fn name(&self) -> &str;
+
+    /// Process count.
+    fn p(&self) -> usize;
+
+    /// Number of stages. A zero-stage pattern is the degenerate
+    /// single-process collective: nothing to communicate.
+    fn stages(&self) -> usize;
+
+    /// Borrow one stage.
+    fn stage(&self, k: usize) -> &IMat;
+
+    /// Total signal count across all stages.
+    fn total_signals(&self) -> usize {
+        (0..self.stages()).map(|k| self.stage(k).edge_count()).sum()
+    }
+
+    /// The last stage index before `before` in which `i` transmitted a
+    /// signal, if any — used by the predictor's posted-receive refinement
+    /// (§5.6.5).
+    fn last_send_stage(&self, i: usize, before: usize) -> Option<usize> {
+        (0..before.min(self.stages()))
+            .rev()
+            .find(|&k| !self.stage(k).dsts(i).is_empty())
+    }
+
+    /// Renders all stages in the layout of Figs. 5.2–5.4.
+    fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for k in 0..self.stages() {
+            writeln!(out, "S{k} =").unwrap();
+            write!(out, "{}", self.stage(k)).unwrap();
+        }
+        out
+    }
+}
+
+/// `⌈log₂ p⌉`: the stage depth of the binomial and dissemination-style
+/// patterns — the single source of truth the pattern builders, payload
+/// schedules and executors must agree on.
+pub fn log2_ceil(p: usize) -> usize {
+    assert!(p > 0, "log2_ceil requires a positive process count");
+    usize::BITS as usize - (p - 1).leading_zeros() as usize
+}
+
+/// Validates a stage list: every stage must be `p×p` and non-empty (an
+/// empty stage is a semantic no-op that would distort stage-count-based
+/// analysis). Shared by every pattern constructor.
+pub fn validate_stages(p: usize, stages: &[IMat]) {
+    assert!(p > 0, "pattern needs at least one process");
+    for (k, s) in stages.iter().enumerate() {
+        assert_eq!(s.n(), p, "stage {k} has wrong dimension");
+        assert!(s.edge_count() > 0, "stage {k} is empty");
+    }
+}
 
 /// A barrier algorithm encoded as stage incidence matrices.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,15 +94,11 @@ pub struct BarrierPattern {
 
 impl BarrierPattern {
     /// Builds a pattern, validating that every stage is a `p×p` incidence
-    /// matrix and that no stage is empty (an empty stage is a semantic
-    /// no-op that would distort stage-count-based analysis).
+    /// matrix and that no stage is empty. Barriers always communicate, so
+    /// at least one stage is required.
     pub fn new(name: &str, p: usize, stages: Vec<IMat>) -> BarrierPattern {
-        assert!(p > 0, "pattern needs at least one process");
         assert!(!stages.is_empty(), "pattern needs at least one stage");
-        for (k, s) in stages.iter().enumerate() {
-            assert_eq!(s.n(), p, "stage {k} has wrong dimension");
-            assert!(s.edge_count() > 0, "stage {k} is empty");
-        }
+        validate_stages(p, &stages);
         BarrierPattern {
             name: name.to_string(),
             p,
@@ -37,53 +106,27 @@ impl BarrierPattern {
         }
     }
 
-    /// Descriptive name (e.g. `dissemination`).
-    pub fn name(&self) -> &str {
-        &self.name
-    }
-
-    /// Process count.
-    pub fn p(&self) -> usize {
-        self.p
-    }
-
-    /// Number of stages.
-    pub fn stages(&self) -> usize {
-        self.stages.len()
-    }
-
-    /// Borrow one stage.
-    pub fn stage(&self, k: usize) -> &IMat {
-        &self.stages[k]
-    }
-
     /// Iterate over stages in order.
     pub fn iter(&self) -> impl Iterator<Item = &IMat> {
         self.stages.iter()
     }
+}
 
-    /// Total signal count across all stages.
-    pub fn total_signals(&self) -> usize {
-        self.stages.iter().map(|s| s.edge_count()).sum()
+impl CommPattern for BarrierPattern {
+    fn name(&self) -> &str {
+        &self.name
     }
 
-    /// The last stage index in which `i` transmitted a signal, if any —
-    /// used by the predictor's posted-receive refinement (§5.6.5).
-    pub fn last_send_stage(&self, i: usize, before: usize) -> Option<usize> {
-        (0..before.min(self.stages.len()))
-            .rev()
-            .find(|&k| !self.stages[k].dsts(i).is_empty())
+    fn p(&self) -> usize {
+        self.p
     }
 
-    /// Renders all stages in the layout of Figs. 5.2–5.4.
-    pub fn render(&self) -> String {
-        use std::fmt::Write;
-        let mut out = String::new();
-        for (k, s) in self.stages.iter().enumerate() {
-            writeln!(out, "S{k} =").unwrap();
-            write!(out, "{s}").unwrap();
-        }
-        out
+    fn stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    fn stage(&self, k: usize) -> &IMat {
+        &self.stages[k]
     }
 }
 
@@ -133,6 +176,16 @@ mod tests {
     }
 
     #[test]
+    fn trait_object_view_matches_concrete() {
+        let b = linear4();
+        let dyn_view: &dyn CommPattern = &b;
+        assert_eq!(dyn_view.p(), 4);
+        assert_eq!(dyn_view.stages(), 2);
+        assert_eq!(dyn_view.total_signals(), 6);
+        assert_eq!(dyn_view.name(), "linear");
+    }
+
+    #[test]
     #[should_panic]
     fn empty_stage_rejected() {
         BarrierPattern::new("bad", 3, vec![IMat::empty(3)]);
@@ -142,5 +195,11 @@ mod tests {
     #[should_panic]
     fn wrong_dimension_rejected() {
         BarrierPattern::new("bad", 4, vec![IMat::from_edges(3, &[(0, 1)])]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_stages_rejected_for_barriers() {
+        BarrierPattern::new("bad", 3, Vec::new());
     }
 }

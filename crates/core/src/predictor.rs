@@ -26,7 +26,7 @@
 //! ```
 
 use crate::matrix::DMat;
-use crate::pattern::BarrierPattern;
+use crate::pattern::CommPattern;
 
 /// Benchmarked platform cost matrices (§5.6.3).
 ///
@@ -48,7 +48,11 @@ impl CommCosts {
     pub fn new(o: DMat, l: DMat, beta: DMat) -> CommCosts {
         assert_eq!(o.rows(), o.cols(), "O must be square");
         assert_eq!((o.rows(), o.cols()), (l.rows(), l.cols()), "L shape");
-        assert_eq!((o.rows(), o.cols()), (beta.rows(), beta.cols()), "beta shape");
+        assert_eq!(
+            (o.rows(), o.cols()),
+            (beta.rows(), beta.cols()),
+            "beta shape"
+        );
         CommCosts { o, l, beta }
     }
 
@@ -100,7 +104,7 @@ impl PayloadSchedule {
         if p == 1 {
             return PayloadSchedule::none();
         }
-        let stages = (p as f64).log2().ceil() as usize;
+        let stages = crate::pattern::log2_ceil(p);
         let row_bytes = 4 * p as u64;
         let bytes = (0..stages)
             .map(|s| {
@@ -133,7 +137,10 @@ pub struct BarrierPrediction {
 impl BarrierPrediction {
     /// Completion time of one process.
     pub fn completion(&self, i: usize) -> f64 {
-        *self.entry.last().expect("at least one row")
+        *self
+            .entry
+            .last()
+            .expect("at least one row")
             .get(i)
             .expect("process index in range")
     }
@@ -142,7 +149,7 @@ impl BarrierPrediction {
 /// True when `j` is known to be awaiting signals at stage `s`: it last
 /// transmitted at least two stages ago (or never) — refinement 2 of
 /// §5.6.5.
-fn is_posted(pattern: &BarrierPattern, j: usize, s: usize) -> bool {
+fn is_posted<P: CommPattern + ?Sized>(pattern: &P, j: usize, s: usize) -> bool {
     if s == 0 {
         return false;
     }
@@ -153,8 +160,8 @@ fn is_posted(pattern: &BarrierPattern, j: usize, s: usize) -> bool {
 }
 
 /// Eq. 5.4 stage cost with payload extension and both refinements.
-fn stage_cost(
-    pattern: &BarrierPattern,
+fn stage_cost<P: CommPattern + ?Sized>(
+    pattern: &P,
     costs: &CommCosts,
     payload: &PayloadSchedule,
     s: usize,
@@ -180,8 +187,12 @@ fn stage_cost(
 
 /// Predicts the cost of executing `pattern` on a platform described by
 /// `costs`, with per-stage payloads from `payload`.
-pub fn predict_barrier(
-    pattern: &BarrierPattern,
+///
+/// Works on any [`CommPattern`] — barriers and collectives alike; the name
+/// keeps the thesis' framing (the predictor was introduced for barriers,
+/// §5.6.5) while the machinery is pattern-agnostic.
+pub fn predict_barrier<P: CommPattern + ?Sized>(
+    pattern: &P,
     costs: &CommCosts,
     payload: &PayloadSchedule,
 ) -> BarrierPrediction {
@@ -229,6 +240,7 @@ pub fn predict_barrier(
 mod tests {
     use super::*;
     use crate::matrix::IMat;
+    use crate::pattern::BarrierPattern;
 
     fn linear(p: usize) -> BarrierPattern {
         let gather: Vec<(usize, usize)> = (1..p).map(|i| (i, 0)).collect();
@@ -244,8 +256,7 @@ mod tests {
         let stages = (p as f64).log2().ceil() as usize;
         let mats = (0..stages)
             .map(|s| {
-                let edges: Vec<(usize, usize)> =
-                    (0..p).map(|i| (i, (i + (1 << s)) % p)).collect();
+                let edges: Vec<(usize, usize)> = (0..p).map(|i| (i, (i + (1 << s)) % p)).collect();
                 IMat::from_edges(p, &edges)
             })
             .collect();

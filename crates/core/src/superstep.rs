@@ -95,11 +95,8 @@ impl SuperstepModel {
 
     /// Time saved by overlap relative to fully sequential execution.
     pub fn overlap_saving(&self) -> f64 {
-        let sequential = SuperstepModel::without_overlap(
-            self.comp.clone(),
-            self.comm.clone(),
-            self.sync,
-        );
+        let sequential =
+            SuperstepModel::without_overlap(self.comp.clone(), self.comm.clone(), self.sync);
         sequential.total() - self.total()
     }
 
@@ -136,13 +133,7 @@ mod tests {
     #[test]
     fn full_overlap_bounded_by_max() {
         // Everything maskable: total = max(comp, comm) + sync.
-        let m = SuperstepModel::new(
-            vec![4.0],
-            vec![4.0],
-            vec![3.0],
-            vec![3.0],
-            1.0,
-        );
+        let m = SuperstepModel::new(vec![4.0], vec![4.0], vec![3.0], vec![3.0], 1.0);
         assert!((m.total() - 5.0).abs() < 1e-12);
         assert!((m.overlap_saving() - 3.0).abs() < 1e-12);
         assert_eq!(m.total(), m.perfect_overlap_total());
@@ -161,13 +152,7 @@ mod tests {
     #[test]
     fn overlap_bisseling_factor_two_bound() {
         // §3.5 cites Bisseling: perfect overlap yields at most 2x speedup.
-        let m = SuperstepModel::new(
-            vec![5.0],
-            vec![5.0],
-            vec![5.0],
-            vec![5.0],
-            0.0,
-        );
+        let m = SuperstepModel::new(vec![5.0], vec![5.0], vec![5.0], vec![5.0], 0.0);
         let sequential = 10.0;
         assert!((sequential / m.total() - 2.0).abs() < 1e-12);
     }

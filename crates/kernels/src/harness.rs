@@ -166,9 +166,10 @@ pub fn profile_kernel_with<T: BatchTimer>(
     let mut points = Vec::new();
     for e in lo..=hi {
         let iters = 1u64 << e;
-        let report = filter_outlier_means(config.samples, config.confidence, config.max_passes, || {
-            timer.time_batch(kernel, &mut state, iters)
-        });
+        let report =
+            filter_outlier_means(config.samples, config.confidence, config.max_passes, || {
+                timer.time_batch(kernel, &mut state, iters)
+            });
         points.push(BenchPoint {
             iterations: iters,
             batch_seconds: report.mean(),

@@ -9,7 +9,7 @@
 
 use crate::net::NetState;
 use crate::params::PlatformParams;
-use hpm_core::pattern::BarrierPattern;
+use hpm_core::pattern::CommPattern;
 use hpm_core::predictor::PayloadSchedule;
 use hpm_stats::rng::derive_rng;
 use hpm_stats::summary::Summary;
@@ -54,9 +54,9 @@ impl<'a> BarrierSim<'a> {
     ///
     /// `net` carries NIC/receiver queues across calls, so consecutive
     /// barriers in a superstep share contention state.
-    pub fn run_once(
+    pub fn run_once<P: CommPattern + ?Sized>(
         &self,
-        pattern: &BarrierPattern,
+        pattern: &P,
         payload: &PayloadSchedule,
         entry: &[f64],
         net: &mut NetState,
@@ -72,9 +72,9 @@ impl<'a> BarrierSim<'a> {
         entry
     }
 
-    fn run_stage(
+    fn run_stage<P: CommPattern + ?Sized>(
         &self,
-        pattern: &BarrierPattern,
+        pattern: &P,
         payload: &PayloadSchedule,
         s: usize,
         entry: &[f64],
@@ -125,9 +125,9 @@ impl<'a> BarrierSim<'a> {
 
     /// One complete run from a cold start; returns the worst-case (max)
     /// completion time.
-    pub fn run_total(
+    pub fn run_total<P: CommPattern + ?Sized>(
         &self,
-        pattern: &BarrierPattern,
+        pattern: &P,
         payload: &PayloadSchedule,
         rng: &mut StdRng,
     ) -> f64 {
@@ -138,9 +138,9 @@ impl<'a> BarrierSim<'a> {
     }
 
     /// Repeated runs with independent jitter streams.
-    pub fn measure(
+    pub fn measure<P: CommPattern + ?Sized>(
         &self,
-        pattern: &BarrierPattern,
+        pattern: &P,
         payload: &PayloadSchedule,
         reps: usize,
         seed: u64,
@@ -160,6 +160,7 @@ mod tests {
     use super::*;
     use crate::params::xeon_cluster_params;
     use hpm_core::matrix::IMat;
+    use hpm_core::pattern::BarrierPattern;
     use hpm_topology::{cluster_8x2x4, PlacementPolicy};
 
     fn linear(p: usize) -> BarrierPattern {
@@ -176,8 +177,7 @@ mod tests {
         let stages = (p as f64).log2().ceil() as usize;
         let mats = (0..stages)
             .map(|s| {
-                let edges: Vec<(usize, usize)> =
-                    (0..p).map(|i| (i, (i + (1 << s)) % p)).collect();
+                let edges: Vec<(usize, usize)> = (0..p).map(|i| (i, (i + (1 << s)) % p)).collect();
                 IMat::from_edges(p, &edges)
             })
             .collect();
@@ -199,7 +199,9 @@ mod tests {
         let params = xeon_cluster_params();
         let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 64);
         let sim = BarrierSim::new(&params, &placement);
-        let lin = sim.measure(&linear(64), &PayloadSchedule::none(), 8, 1).mean();
+        let lin = sim
+            .measure(&linear(64), &PayloadSchedule::none(), 8, 1)
+            .mean();
         let dis = sim
             .measure(&dissemination(64), &PayloadSchedule::none(), 8, 1)
             .mean();
@@ -211,7 +213,9 @@ mod tests {
         let params = xeon_cluster_params();
         let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 8);
         let sim = BarrierSim::new(&params, &placement);
-        let t = sim.measure(&dissemination(8), &PayloadSchedule::none(), 8, 2).mean();
+        let t = sim
+            .measure(&dissemination(8), &PayloadSchedule::none(), 8, 2)
+            .mean();
         assert!(t > 0.0 && t < 50e-6, "one-node dissemination {t}");
     }
 
@@ -255,8 +259,12 @@ mod tests {
         let placement16 = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 16);
         let s64 = BarrierSim::new(&params, &placement64);
         let s16 = BarrierSim::new(&params, &placement16);
-        let lin_ratio = s64.measure(&linear(64), &PayloadSchedule::none(), 3, 5).mean()
-            / s16.measure(&linear(16), &PayloadSchedule::none(), 3, 5).mean();
+        let lin_ratio = s64
+            .measure(&linear(64), &PayloadSchedule::none(), 3, 5)
+            .mean()
+            / s16
+                .measure(&linear(16), &PayloadSchedule::none(), 3, 5)
+                .mean();
         let dis_ratio = s64
             .measure(&dissemination(64), &PayloadSchedule::none(), 3, 5)
             .mean()
@@ -279,7 +287,13 @@ mod tests {
         let mut rng = derive_rng(9, 0);
         let mut net = NetState::new(&placement);
         let base = sim
-            .run_once(&pat, &PayloadSchedule::none(), &vec![0.0; 16], &mut net, &mut rng)
+            .run_once(
+                &pat,
+                &PayloadSchedule::none(),
+                &[0.0; 16],
+                &mut net,
+                &mut rng,
+            )
             .iter()
             .copied()
             .fold(f64::NEG_INFINITY, f64::max);

@@ -64,8 +64,7 @@ pub fn resolve_exchange(
     for idx in order {
         let m = &msgs[idx];
         assert!(m.src < p && m.dst < p, "message endpoints out of range");
-        let (cpu, done) =
-            net.transfer(params, placement, rng, m.src, m.dst, m.bytes, m.issue);
+        let (cpu, done) = net.transfer(params, placement, rng, m.src, m.dst, m.bytes, m.issue);
         processed[idx] = done;
         send_done[idx] = cpu;
         if done > last_in[m.dst] {
@@ -141,7 +140,10 @@ mod tests {
             },
         ];
         let r = resolve_exchange(&params, &placement, &msgs, &mut net, &mut rng);
-        assert_eq!(r.last_in[3], r.processed.iter().copied().fold(0.0, f64::max));
+        assert_eq!(
+            r.last_in[3],
+            r.processed.iter().copied().fold(0.0, f64::max)
+        );
         assert_eq!(r.last_in[0], 0.0);
     }
 

@@ -125,9 +125,8 @@ pub fn bench_platform(
                 let samples: Vec<f64> = (0..cfg.reps)
                     .map(|_| {
                         let mut net = NetState::new(placement);
-                        let (_, processed) = net.signal_round_trip(
-                            params, placement, &mut rng, i, j, 0.0, bytes, 0.0,
-                        );
+                        let (_, processed) = net
+                            .signal_round_trip(params, placement, &mut rng, i, j, 0.0, bytes, 0.0);
                         // One-way time: processed at receiver (the ack is
                         // transport-internal and not application-visible).
                         processed
@@ -188,10 +187,7 @@ mod tests {
         let (params, prof) = profile(16, 13);
         let got = prof.hockney.beta.get(0, 1);
         let truth = params.remote.inv_bandwidth;
-        assert!(
-            (got - truth).abs() / truth < 0.15,
-            "beta {got} vs {truth}"
-        );
+        assert!((got - truth).abs() / truth < 0.15, "beta {got} vs {truth}");
     }
 
     #[test]

@@ -74,6 +74,7 @@ impl NetState {
     ///   before that pay the unexpected-message penalty.
     ///
     /// Returns `(ack_at_sender, processed_at_receiver)`.
+    #[allow(clippy::too_many_arguments)]
     pub fn signal_round_trip(
         &mut self,
         params: &PlatformParams,
@@ -95,8 +96,7 @@ impl NetState {
         } else {
             arrival
         };
-        let processed =
-            proc_start.max(self.recv_busy[dst]) + lc.o_recv * params.jitter.draw(rng);
+        let processed = proc_start.max(self.recv_busy[dst]) + lc.o_recv * params.jitter.draw(rng);
         self.recv_busy[dst] = processed;
         let ack = processed + lc.latency * params.ack_factor * params.jitter.draw(rng);
         (ack, processed)
@@ -107,6 +107,7 @@ impl NetState {
     /// (serialized with that thread's other receptions).
     ///
     /// Returns `(send_cpu_done, processed_at_receiver)`.
+    #[allow(clippy::too_many_arguments)]
     pub fn transfer(
         &mut self,
         params: &PlatformParams,
@@ -129,8 +130,7 @@ impl NetState {
         let dep = self.depart(params, placement, src, dst, send_done);
         let wire = (lc.latency + bytes as f64 * lc.inv_bandwidth) * params.jitter.draw(rng);
         let arrival = dep + wire;
-        let processed =
-            arrival.max(self.recv_busy[dst]) + lc.o_recv * params.jitter.draw(rng);
+        let processed = arrival.max(self.recv_busy[dst]) + lc.o_recv * params.jitter.draw(rng);
         self.recv_busy[dst] = processed;
         (send_done, processed)
     }
@@ -155,7 +155,8 @@ mod tests {
         let mut rng = derive_rng(1, 0);
         // Ranks 0 and 2 share node 0; ranks 0 and 1 are on different nodes.
         let mut net = NetState::new(&placement);
-        let (ack_local, _) = net.signal_round_trip(&params, &placement, &mut rng, 0, 2, 0.0, 0, 0.0);
+        let (ack_local, _) =
+            net.signal_round_trip(&params, &placement, &mut rng, 0, 2, 0.0, 0, 0.0);
         net.reset();
         let (ack_remote, _) =
             net.signal_round_trip(&params, &placement, &mut rng, 0, 1, 0.0, 0, 0.0);
@@ -193,11 +194,9 @@ mod tests {
         let mut rng = derive_rng(3, 0);
         let mut net = NetState::new(&placement);
         // Receiver posts late (at 1 ms): message waits and pays penalty.
-        let (_, late) =
-            net.signal_round_trip(&params, &placement, &mut rng, 0, 1, 0.0, 0, 1e-3);
+        let (_, late) = net.signal_round_trip(&params, &placement, &mut rng, 0, 1, 0.0, 0, 1e-3);
         net.reset();
-        let (_, posted) =
-            net.signal_round_trip(&params, &placement, &mut rng, 0, 1, 0.0, 0, 0.0);
+        let (_, posted) = net.signal_round_trip(&params, &placement, &mut rng, 0, 1, 0.0, 0, 0.0);
         assert!(late >= 1e-3 + params.unexpected_penalty);
         assert!(posted < 1e-3);
     }
@@ -209,8 +208,7 @@ mod tests {
         let mut net = NetState::new(&placement);
         let (a0, _) = net.signal_round_trip(&params, &placement, &mut rng, 0, 1, 0.0, 0, 0.0);
         net.reset();
-        let (a1, _) =
-            net.signal_round_trip(&params, &placement, &mut rng, 0, 1, 0.0, 100_000, 0.0);
+        let (a1, _) = net.signal_round_trip(&params, &placement, &mut rng, 0, 1, 0.0, 100_000, 0.0);
         let delta = a1 - a0;
         let expect = 100_000.0 * params.remote.inv_bandwidth;
         assert!(
@@ -239,8 +237,7 @@ mod tests {
         let (params, placement) = setup(16);
         let mut rng = derive_rng(6, 0);
         let mut net = NetState::new(&placement);
-        let (cpu_done, processed) =
-            net.transfer(&params, &placement, &mut rng, 0, 1, 1 << 20, 0.0);
+        let (cpu_done, processed) = net.transfer(&params, &placement, &mut rng, 0, 1, 1 << 20, 0.0);
         // The sender is free long before the megabyte lands: overlap.
         assert!(cpu_done < processed / 100.0, "{cpu_done} vs {processed}");
     }

@@ -71,7 +71,10 @@ impl PlatformParams {
         self.remote.validate("remote");
         assert!(self.call_overhead >= 0.0);
         assert!(self.nic_gap >= 0.0);
-        assert!((0.0..=1.0).contains(&self.ack_factor), "ack_factor in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&self.ack_factor),
+            "ack_factor in [0,1]"
+        );
         assert!(self.unexpected_penalty >= 0.0);
         assert!(
             self.same_socket.latency <= self.same_node.latency

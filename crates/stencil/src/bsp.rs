@@ -316,8 +316,8 @@ mod tests {
 
     #[test]
     fn strong_scaling_reduces_iteration_time() {
-        let t4 = run_bsp_stencil(&cfg(4), 2048, 3, CommitDiscipline::EarlyUnbuffered, false)
-            .mean_iter();
+        let t4 =
+            run_bsp_stencil(&cfg(4), 2048, 3, CommitDiscipline::EarlyUnbuffered, false).mean_iter();
         let t32 = run_bsp_stencil(&cfg(32), 2048, 3, CommitDiscipline::EarlyUnbuffered, false)
             .mean_iter();
         assert!(t32 < t4, "32 procs {t32} should beat 4 procs {t4}");

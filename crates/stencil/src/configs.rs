@@ -114,7 +114,12 @@ pub fn table_8_1() -> Vec<ExperimentConfig> {
 pub fn render_table_8_1() -> String {
     use std::fmt::Write;
     let mut out = String::new();
-    writeln!(out, "{:<4} {:<8} {:>6} {:<40}", "id", "N", "iters", "implementations").unwrap();
+    writeln!(
+        out,
+        "{:<4} {:<8} {:>6} {:<40}",
+        "id", "N", "iters", "implementations"
+    )
+    .unwrap();
     for c in table_8_1() {
         writeln!(
             out,
@@ -136,14 +141,16 @@ mod tests {
     #[test]
     fn table_has_all_experiment_ids() {
         let ids: Vec<&str> = table_8_1().iter().map(|c| c.id).collect();
-        for want in ["A1", "A2", "A3", "A4", "B1", "B2", "B3", "B4", "B5", "B6", "C1"] {
+        for want in [
+            "A1", "A2", "A3", "A4", "B1", "B2", "B3", "B4", "B5", "B6", "C1",
+        ] {
             assert!(ids.contains(&want), "missing {want}");
         }
     }
 
     #[test]
     fn large_exceeds_small() {
-        assert!(LARGE_N > SMALL_N);
+        const { assert!(LARGE_N > SMALL_N) };
     }
 
     #[test]

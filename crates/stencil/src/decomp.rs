@@ -74,7 +74,7 @@ impl Decomposition {
         assert!(p >= 1, "need at least one process");
         let mut best: (usize, usize) = (1, p);
         for px in 1..=p {
-            if p % px == 0 {
+            if p.is_multiple_of(px) {
                 let py = p / px;
                 if px.abs_diff(py) < best.0.abs_diff(best.1) {
                     best = (px, py);
@@ -195,7 +195,14 @@ mod tests {
 
     #[test]
     fn near_square_factorization() {
-        assert_eq!(Decomposition::new(1024, 16), Decomposition { n: 1024, px: 4, py: 4 });
+        assert_eq!(
+            Decomposition::new(1024, 16),
+            Decomposition {
+                n: 1024,
+                px: 4,
+                py: 4
+            }
+        );
         let d = Decomposition::new(1024, 12);
         assert!((d.px, d.py) == (3, 4) || (d.px, d.py) == (4, 3));
         let d2 = Decomposition::new(1024, 7);

@@ -28,11 +28,17 @@ impl LocalField {
 
     /// Creates the local portion of a global field defined by `f(x, y)`
     /// over the `n×n` grid (zero outside — fixed boundary).
-    pub fn init(decomp: &Decomposition, rank: usize, f: impl Fn(usize, usize) -> f64) -> LocalField {
+    pub fn init(
+        decomp: &Decomposition,
+        rank: usize,
+        f: impl Fn(usize, usize) -> f64,
+    ) -> LocalField {
         let block = decomp.block(rank);
         // Global offset of this block.
         let off = |n: usize, parts: usize, idx: usize| -> usize {
-            (0..idx).map(|k| n / parts + usize::from(k < n % parts)).sum()
+            (0..idx)
+                .map(|k| n / parts + usize::from(k < n % parts))
+                .sum()
         };
         let x0 = off(decomp.n, decomp.px, block.gx);
         let y0 = off(decomp.n, decomp.py, block.gy);
@@ -58,7 +64,8 @@ impl LocalField {
         for ly in 1..=self.block.height {
             for lx in 1..=self.block.width {
                 let i = ly * s + lx;
-                self.next[i] = 0.25 * (self.cur[i - s] + self.cur[i + s] + self.cur[i - 1] + self.cur[i + 1]);
+                self.next[i] =
+                    0.25 * (self.cur[i - s] + self.cur[i + s] + self.cur[i - 1] + self.cur[i + 1]);
             }
         }
         std::mem::swap(&mut self.cur, &mut self.next);
@@ -71,12 +78,18 @@ impl LocalField {
             Side::North => (1..=self.block.width).map(|lx| self.cur[s + lx]).collect(),
             Side::South => {
                 let ly = self.block.height;
-                (1..=self.block.width).map(|lx| self.cur[ly * s + lx]).collect()
+                (1..=self.block.width)
+                    .map(|lx| self.cur[ly * s + lx])
+                    .collect()
             }
-            Side::West => (1..=self.block.height).map(|ly| self.cur[ly * s + 1]).collect(),
+            Side::West => (1..=self.block.height)
+                .map(|ly| self.cur[ly * s + 1])
+                .collect(),
             Side::East => {
                 let lx = self.block.width;
-                (1..=self.block.height).map(|ly| self.cur[ly * s + lx]).collect()
+                (1..=self.block.height)
+                    .map(|ly| self.cur[ly * s + lx])
+                    .collect()
             }
         };
         vals.iter().flat_map(|v| v.to_le_bytes()).collect()
@@ -194,6 +207,7 @@ pub fn distributed_reference(
     for _ in 0..iters {
         // Exchange all borders, then sweep.
         let mut transfers: Vec<(usize, Side, Vec<u8>)> = Vec::new();
+        #[allow(clippy::needless_range_loop)]
         for r in 0..p {
             let nb = decomp.neighbours(r);
             for (side, peer) in [
@@ -230,7 +244,9 @@ mod tests {
         let reference = sequential_reference(n, iters, hill);
         let fields = distributed_reference(&d, iters, hill);
         let off = |nn: usize, parts: usize, idx: usize| -> usize {
-            (0..idx).map(|k| nn / parts + usize::from(k < nn % parts)).sum()
+            (0..idx)
+                .map(|k| nn / parts + usize::from(k < nn % parts))
+                .sum()
         };
         for (r, fld) in fields.iter().enumerate() {
             let b = fld.block;

@@ -29,7 +29,7 @@ pub fn run_hybrid_stencil(
 ) -> MpiReport {
     let cpn = shape.cores_per_node();
     assert!(
-        total_cores % cpn == 0 && total_cores > 0,
+        total_cores.is_multiple_of(cpn) && total_cores > 0,
         "hybrid runs use whole nodes ({cpn} cores each), got {total_cores} cores"
     );
     let nodes = total_cores / cpn;
@@ -95,8 +95,9 @@ mod tests {
             )
             .mean_iter()
         };
-        let hybrid =
-            |n: usize| run_hybrid_stencil(&params, cluster_8x2x4(), &model, n, 3, 64, 5).mean_iter();
+        let hybrid = |n: usize| {
+            run_hybrid_stencil(&params, cluster_8x2x4(), &model, n, 3, 64, 5).mean_iter()
+        };
         // Compute-bound regime: flat wins clearly (imperfect thread
         // speedup and larger node-boundary transfers).
         assert!(

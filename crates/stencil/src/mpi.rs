@@ -63,6 +63,7 @@ impl MpiReport {
 ///
 /// `speedup` scales the compute rate (used by the hybrid variant to model
 /// intra-node threading); 1.0 for plain runs.
+#[allow(clippy::too_many_arguments)]
 pub fn run_mpi_stencil(
     params: &PlatformParams,
     placement: &Placement,
@@ -96,7 +97,9 @@ pub fn run_mpi_stencil(
                 // Stage 1: north/south sendrecv.
                 exchange_stage(params, placement, &decomp, &mut t, &mut net, &mut rng, true);
                 // Stage 2: west/east sendrecv.
-                exchange_stage(params, placement, &decomp, &mut t, &mut net, &mut rng, false);
+                exchange_stage(
+                    params, placement, &decomp, &mut t, &mut net, &mut rng, false,
+                );
             }
             MpiVariant::EarlyRequests => {
                 // Borders first, post everything, interior overlapped.
@@ -162,9 +165,15 @@ fn exchange_stage(
     for (r, &tr) in t.iter().enumerate() {
         let nb = decomp.neighbours(r);
         let pairs = if north_south {
-            [(nb.north, decomp.ns_exchange_bytes(r, 1)), (nb.south, decomp.ns_exchange_bytes(r, 1))]
+            [
+                (nb.north, decomp.ns_exchange_bytes(r, 1)),
+                (nb.south, decomp.ns_exchange_bytes(r, 1)),
+            ]
         } else {
-            [(nb.west, decomp.we_exchange_bytes(r, 1)), (nb.east, decomp.we_exchange_bytes(r, 1))]
+            [
+                (nb.west, decomp.we_exchange_bytes(r, 1)),
+                (nb.east, decomp.we_exchange_bytes(r, 1)),
+            ]
         };
         for (peer, bytes) in pairs {
             if let Some(peer) = peer {
@@ -258,10 +267,28 @@ mod tests {
     #[test]
     fn speedup_scales_compute() {
         let (params, placement, model) = setup(1);
-        let base = run_mpi_stencil(&params, &placement, &model, 1024, 2,
-            MpiVariant::Blocking2Stage, 1.0, 3).mean_iter();
-        let fast = run_mpi_stencil(&params, &placement, &model, 1024, 2,
-            MpiVariant::Blocking2Stage, 4.0, 3).mean_iter();
+        let base = run_mpi_stencil(
+            &params,
+            &placement,
+            &model,
+            1024,
+            2,
+            MpiVariant::Blocking2Stage,
+            1.0,
+            3,
+        )
+        .mean_iter();
+        let fast = run_mpi_stencil(
+            &params,
+            &placement,
+            &model,
+            1024,
+            2,
+            MpiVariant::Blocking2Stage,
+            4.0,
+            3,
+        )
+        .mean_iter();
         assert!(
             (base / fast - 4.0).abs() < 0.5,
             "speedup 4 expected: {base} vs {fast}"

@@ -61,8 +61,8 @@ pub fn predict_bsp_iteration(
     let comp_maskable: Vec<f64> = (0..p)
         .map(|i| {
             let regions = decomp.regions(i);
-            let frac = (regions.inner_ring + regions.interior) as f64
-                / regions.total().max(1) as f64;
+            let frac =
+                (regions.inner_ring + regions.interior) as f64 / regions.total().max(1) as f64;
             comp[i] * frac
         })
         .collect();

@@ -9,10 +9,9 @@
 //! it must be modeled exactly.
 
 use crate::shape::{ClusterShape, CoreId, LinkClass};
-use serde::{Deserialize, Serialize};
 
 /// How ranks are distributed over nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlacementPolicy {
     /// Rank `r` on node `r mod U` where `U` is the number of nodes in use —
     /// the default of the thesis' schedulers.
@@ -27,7 +26,7 @@ pub enum PlacementPolicy {
 }
 
 /// A concrete assignment of `nprocs` ranks to cores of a cluster.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Placement {
     shape: ClusterShape,
     policy: PlacementPolicy,

@@ -1,10 +1,8 @@
 //! Cluster shapes, core coordinates and link classes.
 
-use serde::{Deserialize, Serialize};
-
 /// Physical coordinates of one core: node, socket within node, core within
 /// socket.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CoreId {
     pub node: usize,
     pub socket: usize,
@@ -17,7 +15,7 @@ pub struct CoreId {
 /// §5.1 establishes that cost is tied to topological distance at intra-chip,
 /// inter-chip and network scales; these are the three scales of the test
 /// systems plus the degenerate self-loop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LinkClass {
     /// Same process (no transport).
     SelfLoop,
@@ -51,7 +49,7 @@ impl LinkClass {
 
 /// A homogeneous cluster shape: `nodes` × `sockets_per_node` ×
 /// `cores_per_socket`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ClusterShape {
     nodes: usize,
     sockets_per_node: usize,

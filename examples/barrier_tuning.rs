@@ -9,6 +9,7 @@
 
 use hpm::barriers::greedy::greedy_adaptive_barrier;
 use hpm::barriers::patterns::{binary_tree, dissemination, linear};
+use hpm::model::pattern::CommPattern;
 use hpm::model::predictor::{predict_barrier, PayloadSchedule};
 use hpm::simnet::barrier::BarrierSim;
 use hpm::simnet::microbench::{bench_platform, MicrobenchConfig};
@@ -26,7 +27,11 @@ fn main() {
     println!("SSS clustering (Table 7.1 analogue):");
     print!("{}", report.clustering.render());
     for (k, (shape, cost)) in report.intra_choices.iter().enumerate() {
-        println!("  subset {k}: gather {:<7} predicted {:.2} us", shape.label(), cost * 1e6);
+        println!(
+            "  subset {k}: gather {:<7} predicted {:.2} us",
+            shape.label(),
+            cost * 1e6
+        );
     }
     println!(
         "top level: {} — emitted '{}' predicted {:.2} us",

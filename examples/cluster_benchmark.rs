@@ -32,18 +32,15 @@ fn main() {
     let mut rows = Vec::new();
     for p in (8..=64).step_by(8) {
         let b = bspbench(&cfg(p));
-        println!(
-            "{:>4} {:>12.3} {:>10.1} {:>14.1}",
-            p,
-            b.r / 1e6,
-            b.g,
-            b.l
-        );
+        println!("{:>4} {:>12.3} {:>10.1} {:>14.1}", p, b.r / 1e6, b.g, b.l);
         rows.push(b);
     }
 
     println!("\nFig. 3.2 analogue — inner product, N = 1e8:");
-    println!("{:>4} {:>14} {:>14} {:>8}", "P", "measured [s]", "classic [s]", "ratio");
+    println!(
+        "{:>4} {:>14} {:>14} {:>8}",
+        "P", "measured [s]", "classic [s]", "ratio"
+    );
     for b in rows {
         let classic = ClassicBsp::new(b.p, b.r, b.g, b.l).inner_product_seconds(n);
         let measured = bspinprod(&cfg(b.p), n, 3).seconds;

@@ -9,6 +9,7 @@
 
 use hpm::barriers::patterns::{binary_tree, dissemination, linear};
 use hpm::model::knowledge::verify_synchronizes;
+use hpm::model::pattern::CommPattern;
 use hpm::model::predictor::{predict_barrier, PayloadSchedule};
 use hpm::simnet::barrier::BarrierSim;
 use hpm::simnet::microbench::{bench_platform, MicrobenchConfig};
@@ -31,7 +32,10 @@ fn main() {
 
     // 2. Verify and predict three barrier algorithms.
     let sim = BarrierSim::new(&params, &placement);
-    println!("{:<15} {:>12} {:>12} {:>8}", "barrier", "predicted", "measured", "error");
+    println!(
+        "{:<15} {:>12} {:>12} {:>8}",
+        "barrier", "predicted", "measured", "error"
+    );
     for pattern in [dissemination(p), binary_tree(p), linear(p, 0)] {
         assert!(
             verify_synchronizes(&pattern).synchronizes(),

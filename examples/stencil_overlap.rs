@@ -28,10 +28,26 @@ fn main() {
         let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, p);
         let cfg = BspConfig::new(params.clone(), placement.clone(), model.clone(), 5);
         let bsp = run_bsp_stencil(&cfg, n, 4, CommitDiscipline::EarlyUnbuffered, false);
-        let mpi = run_mpi_stencil(&params, &placement, &model, n, 4,
-            MpiVariant::Blocking2Stage, 1.0, 5);
-        let mpir = run_mpi_stencil(&params, &placement, &model, n, 4,
-            MpiVariant::EarlyRequests, 1.0, 5);
+        let mpi = run_mpi_stencil(
+            &params,
+            &placement,
+            &model,
+            n,
+            4,
+            MpiVariant::Blocking2Stage,
+            1.0,
+            5,
+        );
+        let mpir = run_mpi_stencil(
+            &params,
+            &placement,
+            &model,
+            n,
+            4,
+            MpiVariant::EarlyRequests,
+            1.0,
+            5,
+        );
         println!(
             "{:>4} {:>12.3e} {:>12.3e} {:>12.3e}",
             p,
@@ -55,12 +71,22 @@ fn main() {
     );
 
     // Model-driven ghost-width adaptation (§8.6).
-    let sweep = optimize_ghost_width(&params, &profile, &model, &placement, n,
-        &[1, 2, 3, 4, 6, 8], 5);
+    let sweep = optimize_ghost_width(
+        &params,
+        &profile,
+        &model,
+        &placement,
+        n,
+        &[1, 2, 3, 4, 6, 8],
+        5,
+    );
     println!("\nghost-width adaptation (s/iter):");
     println!("{:>3} {:>12} {:>12}", "w", "predicted", "measured");
     for (k, &w) in sweep.widths.iter().enumerate() {
-        println!("{:>3} {:>12.3e} {:>12.3e}", w, sweep.predicted[k], sweep.measured[k]);
+        println!(
+            "{:>3} {:>12.3e} {:>12.3e}",
+            w, sweep.predicted[k], sweep.measured[k]
+        );
     }
     println!(
         "model selects w = {}, measurement prefers w = {}",

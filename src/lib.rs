@@ -11,6 +11,7 @@
 
 pub use hpm_barriers as barriers;
 pub use hpm_bsplib as bsplib;
+pub use hpm_collectives as collectives;
 pub use hpm_core as model;
 pub use hpm_kernels as kernels;
 pub use hpm_simnet as simnet;

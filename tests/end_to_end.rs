@@ -6,6 +6,7 @@ use hpm::barriers::patterns::{binary_tree, dissemination, linear, ring};
 use hpm::bsplib::runtime::BspConfig;
 use hpm::kernels::rate::{opteron_core, xeon_core};
 use hpm::model::knowledge::verify_synchronizes;
+use hpm::model::pattern::CommPattern;
 use hpm::model::predictor::{predict_barrier, PayloadSchedule};
 use hpm::simnet::barrier::BarrierSim;
 use hpm::simnet::microbench::{bench_platform, MicrobenchConfig};
@@ -67,8 +68,8 @@ fn stencil_prediction_tracks_bsp_measurement() {
     let model = xeon_core();
     let predicted = predict_bsp_iteration(&profile, &model, &placement, 2048).total;
     let cfg = BspConfig::new(params, placement, model, 5);
-    let measured = run_bsp_stencil(&cfg, 2048, 3, CommitDiscipline::EarlyUnbuffered, false)
-        .mean_iter();
+    let measured =
+        run_bsp_stencil(&cfg, 2048, 3, CommitDiscipline::EarlyUnbuffered, false).mean_iter();
     let ratio = predicted / measured;
     assert!(
         (0.5..2.0).contains(&ratio),

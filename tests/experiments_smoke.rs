@@ -12,9 +12,8 @@ fn every_experiment_runs_and_writes_output() {
             .unwrap_or_else(|| panic!("experiment {id} not found"));
         assert!(!paths.is_empty(), "{id} wrote nothing");
         for p in paths {
-            let meta = std::fs::metadata(&p).unwrap_or_else(|e| {
-                panic!("{id}: missing artifact {}: {e}", p.display())
-            });
+            let meta = std::fs::metadata(&p)
+                .unwrap_or_else(|e| panic!("{id}: missing artifact {}: {e}", p.display()));
             assert!(meta.len() > 0, "{id}: empty artifact {}", p.display());
         }
     }

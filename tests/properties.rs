@@ -3,14 +3,22 @@
 use hpm::barriers::hybrid::{hybrid_barrier, GatherShape};
 use hpm::barriers::patterns::{all_to_all, binary_tree, dissemination, kary_tree, linear, ring};
 use hpm::barriers::sss::sss_clusters;
+use hpm::bsplib::runtime::BspConfig;
+use hpm::collectives::exec::{run_reduce, run_scan, seed_vector};
+use hpm::collectives::pattern::catalog;
+use hpm::collectives::predict::predict_collective;
+use hpm::kernels::rate::xeon_core;
 use hpm::model::compute::{imbalance, superstep_times};
 use hpm::model::knowledge::verify_synchronizes;
 use hpm::model::matrix::DMat;
+use hpm::model::pattern::CommPattern;
 use hpm::model::predictor::{predict_barrier, CommCosts, PayloadSchedule};
 use hpm::model::superstep::SuperstepModel;
+use hpm::simnet::params::xeon_cluster_params;
 use hpm::stats::quantile::{median, quantile};
 use hpm::stats::regression::LinearFit;
 use hpm::stencil::decomp::Decomposition;
+use hpm::topology::{cluster_8x2x4, Placement, PlacementPolicy};
 use proptest::prelude::*;
 
 proptest! {
@@ -176,6 +184,86 @@ proptest! {
         let inter = dissemination(groups);
         let b = hybrid_barrier(p, &gs, &shapes, Some(&inter));
         prop_assert!(verify_synchronizes(&b).synchronizes());
+    }
+
+    /// Every collective pattern in the catalog passes its knowledge /
+    /// rooted-knowledge check for every p in 1..=16, any root, any
+    /// payload size.
+    #[test]
+    fn collective_patterns_satisfy_knowledge_goals(
+        p in 1usize..17,
+        root_pick in 0usize..16,
+        bytes in 1u64..1_000_000,
+    ) {
+        let root = root_pick % p;
+        for c in catalog(p, root, bytes) {
+            use hpm::model::knowledge::verify_synchronizes as verify;
+            let trace = verify(&c);
+            prop_assert!(
+                trace.satisfies(c.goal()),
+                "{} p={} root={} violates {:?}",
+                c.name(), p, root, c.goal()
+            );
+        }
+    }
+
+    /// Collective predictions are finite, non-negative, and never become
+    /// cheaper when payload grows.
+    #[test]
+    fn collective_prediction_monotone_in_payload(
+        p in 1usize..17,
+        bytes in 1u64..100_000,
+        k in 2u64..10,
+    ) {
+        let mut costs = hpm::model::predictor::CommCosts::uniform(p, 1e-7, 5e-7, 2e-6);
+        costs.beta = DMat::from_fn(p, p, |i, j| if i == j { 0.0 } else { 1e-9 });
+        for (small, big) in catalog(p, 0, bytes).into_iter().zip(catalog(p, 0, bytes * k)) {
+            let a = predict_collective(&small, &costs).total;
+            let b = predict_collective(&big, &costs).total;
+            prop_assert!(a.is_finite() && a >= 0.0, "{}: {a}", small.name());
+            prop_assert!(b >= a, "{}: {b} < {a}", small.name());
+        }
+    }
+
+    /// Reduce over the runtime produces the exact elementwise sum at the
+    /// root, for arbitrary process counts, roots and vector lengths.
+    #[test]
+    fn runtime_reduce_is_numerically_exact(
+        p in 1usize..11,
+        root_pick in 0usize..16,
+        n in 1usize..40,
+    ) {
+        let root = root_pick % p;
+        let cfg = BspConfig::new(
+            xeon_cluster_params(),
+            Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, p),
+            xeon_core(),
+            99,
+        );
+        let out = run_reduce(&cfg, root, n);
+        let want: Vec<f64> = (0..n)
+            .map(|kk| (0..p).map(|r| seed_vector(r, n)[kk]).sum())
+            .collect();
+        prop_assert_eq!(&out.values[root], &want);
+    }
+
+    /// Scan over the runtime produces exact inclusive prefixes on every
+    /// rank.
+    #[test]
+    fn runtime_scan_is_numerically_exact(p in 1usize..11, n in 1usize..40) {
+        let cfg = BspConfig::new(
+            xeon_cluster_params(),
+            Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, p),
+            xeon_core(),
+            7,
+        );
+        let out = run_scan(&cfg, n);
+        for (pid, v) in out.values.iter().enumerate() {
+            let want: Vec<f64> = (0..n)
+                .map(|kk| (0..=pid).map(|r| seed_vector(r, n)[kk]).sum())
+                .collect();
+            prop_assert_eq!(v, &want, "pid {}", pid);
+        }
     }
 
     /// SSS clustering partitions the ranks exactly once.
