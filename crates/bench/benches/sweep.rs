@@ -1,0 +1,43 @@
+//! The PR 3 acceptance benchmark: serial vs parallel throughput of the
+//! measurement layers ported onto `hpm_par`.
+//!
+//! Two workloads, each timed at 1 worker and at one worker per hardware
+//! thread: the Fig. 5.6 barrier sweep (the heaviest figure experiment)
+//! and the §5.6.3 platform microbenchmark at p = 64 (the O(p²) pair
+//! sweep). The outputs are bit-identical across thread counts — the
+//! determinism tests enforce that — so the ratio between the paired
+//! numbers below is pure wall-clock speedup.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hpm_bench::experiments::{run_experiment, Effort};
+use hpm_simnet::microbench::{bench_platform, MicrobenchConfig};
+use hpm_simnet::params::xeon_cluster_params;
+use hpm_topology::{cluster_8x2x4, Placement, PlacementPolicy};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep");
+    g.sample_size(10);
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let dir = std::env::temp_dir().join(format!("hpm-sweep-bench-{}", std::process::id()));
+    let params = xeon_cluster_params();
+    let p64 = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 64);
+
+    for (label, threads) in [("1thread", 1), ("allthreads", hw)] {
+        g.bench_function(format!("fig5_6_quick_{label}"), |b| {
+            hpm_par::set_threads(Some(threads));
+            b.iter(|| black_box(run_experiment("fig5_6", &dir, &Effort::quick())))
+        });
+    }
+    for (label, threads) in [("1thread", 1), ("allthreads", hw)] {
+        g.bench_function(format!("microbench_p64_{label}"), |b| {
+            hpm_par::set_threads(Some(threads));
+            b.iter(|| black_box(bench_platform(&params, &p64, &MicrobenchConfig::quick(), 5)))
+        });
+    }
+    hpm_par::set_threads(None);
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

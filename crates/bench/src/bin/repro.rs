@@ -5,11 +5,19 @@
 //! repro <id> [<id> ...]      # run selected experiments
 //! repro all                  # run everything (what EXPERIMENTS.md records)
 //! repro all --quick          # smoke-test resolution
+//! repro all --effort quick   # same, spelled out
+//! repro all --threads 8      # fan each sweep out over 8 workers
+//! repro all --json BENCH_repro.json   # machine-readable timing report
 //! ```
 //!
 //! Output CSV/text files land in `results/` (override with `--out DIR`).
+//! The sweeps fan out over `hpm_par` worker threads — one per hardware
+//! thread unless `--threads` says otherwise — and the output bytes are
+//! identical at every thread count (the per-point RNG streams are derived
+//! from the seed and the point's coordinates, never shared).
 
 use hpm_bench::experiments::{registry, run_experiment, Effort};
+use std::io::Write;
 use std::path::PathBuf;
 
 fn main() {
@@ -20,6 +28,8 @@ fn main() {
     }
     let mut out_dir = PathBuf::from("results");
     let mut effort = Effort::standard();
+    let mut effort_name = "standard";
+    let mut json_path: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -27,7 +37,35 @@ fn main() {
             "--out" => {
                 out_dir = PathBuf::from(it.next().expect("--out needs a directory"));
             }
-            "--quick" => effort = Effort::quick(),
+            "--quick" => {
+                effort = Effort::quick();
+                effort_name = "quick";
+            }
+            "--effort" => match it.next().as_deref() {
+                Some("quick") => {
+                    effort = Effort::quick();
+                    effort_name = "quick";
+                }
+                Some("standard") => {
+                    effort = Effort::standard();
+                    effort_name = "standard";
+                }
+                other => {
+                    eprintln!("--effort needs `quick` or `standard`, got {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            "--threads" => {
+                let n: usize = it
+                    .next()
+                    .expect("--threads needs a count")
+                    .parse()
+                    .expect("--threads needs a positive integer");
+                hpm_par::set_threads(Some(n));
+            }
+            "--json" => {
+                json_path = Some(PathBuf::from(it.next().expect("--json needs a file path")));
+            }
             "list" => {
                 for (id, desc, _) in registry() {
                     println!("{id:<10} {desc}");
@@ -41,14 +79,16 @@ fn main() {
         ids = registry().iter().map(|(id, _, _)| id.to_string()).collect();
     }
     let t0 = std::time::Instant::now();
+    let mut timings: Vec<(String, f64, usize)> = Vec::new();
     for id in &ids {
         let start = std::time::Instant::now();
         match run_experiment(id, &out_dir, &effort) {
             Some(paths) => {
                 let secs = start.elapsed().as_secs_f64();
-                for p in paths {
+                for p in &paths {
                     println!("[{id}] wrote {} ({secs:.1}s)", p.display());
                 }
+                timings.push((id.clone(), secs, paths.len()));
             }
             None => {
                 eprintln!("unknown experiment id: {id} (try `repro list`)");
@@ -56,13 +96,40 @@ fn main() {
             }
         }
     }
-    println!(
-        "done: {} experiments in {:.1}s",
-        ids.len(),
-        t0.elapsed().as_secs_f64()
-    );
+    let total = t0.elapsed().as_secs_f64();
+    if let Some(path) = json_path {
+        write_json(&path, effort_name, total, &timings);
+        println!("wrote {}", path.display());
+    }
+    println!("done: {} experiments in {total:.1}s", ids.len());
+}
+
+/// Emits the machine-readable timing report CI archives as
+/// `BENCH_repro.json`: wall-clock per experiment plus the fan-out width,
+/// so the perf trajectory can track sweep throughput across commits.
+fn write_json(path: &PathBuf, effort: &str, total: f64, timings: &[(String, f64, usize)]) {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"threads\": {},\n", hpm_par::threads()));
+    s.push_str(&format!("  \"effort\": \"{effort}\",\n"));
+    s.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
+    s.push_str("  \"experiments\": [\n");
+    for (k, (id, secs, files)) in timings.iter().enumerate() {
+        let comma = if k + 1 < timings.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"id\": \"{id}\", \"seconds\": {secs:.3}, \"files\": {files}}}{comma}\n"
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("create json output dir");
+    }
+    let mut f = std::fs::File::create(path).expect("create json report");
+    f.write_all(s.as_bytes()).expect("write json report");
 }
 
 fn usage() {
-    eprintln!("usage: repro [--out DIR] [--quick] (list | all | <id> ...)");
+    eprintln!(
+        "usage: repro [--out DIR] [--quick | --effort quick|standard] \
+         [--threads N] [--json FILE] (list | all | <id> ...)"
+    );
 }

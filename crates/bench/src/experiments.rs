@@ -43,6 +43,20 @@ use hpm_topology::{cluster_10x2x6, cluster_12x2x6, cluster_8x2x4, Placement, Pla
 
 const SEED: u64 = 20121116; // thesis submission month
 
+/// Runs one closure per sweep point on the [`hpm_par`] fan-out,
+/// collecting results in point order.
+///
+/// Every simulated sweep point below is independent and derives its RNG
+/// streams from `SEED` plus its own coordinates (process count, pair
+/// index, repetition), so the parallel schedule cannot change a single
+/// bit of the CSV output — an equality the workspace enforces with
+/// byte-comparison tests. Host-clock experiments (the Ch. 4 figures) stay
+/// serial: concurrent timing on shared cores would perturb what they
+/// measure.
+fn par_points<T: Sync, R: Send>(points: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    hpm_par::par_map_slice(points, |_, t| f(t))
+}
+
 /// How hard to work: full figure resolution or a smoke-test subset.
 #[derive(Debug, Clone, Copy)]
 pub struct Effort {
@@ -124,14 +138,17 @@ fn std_patterns(p: usize) -> Vec<(&'static str, BarrierPattern)> {
 /// Table 3.1: BSPBench parameter values on the 8-way 2×4-core cluster.
 pub fn table3_1(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
     let mut t = CsvTable::new(&["P", "r_mflops", "g_flops", "l_flops"]);
-    for p in (8..=64).step_by(8.max(effort.stride_small * 8)) {
+    let ps: Vec<usize> = (8..=64).step_by(8.max(effort.stride_small * 8)).collect();
+    for row in par_points(&ps, |&p| {
         let r = bspbench(&xeon_cfg(p, SEED));
-        t.push(vec![
+        vec![
             p.to_string(),
             format!("{:.3}", r.r / 1e6),
             format!("{:.1}", r.g),
             format!("{:.1}", r.l),
-        ]);
+        ]
+    }) {
+        t.push(row);
     }
     vec![write_csv(dir, "table3_1", &t)]
 }
@@ -140,15 +157,18 @@ pub fn table3_1(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
 pub fn fig3_2(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
     let n = 100_000_000u64;
     let mut t = CsvTable::new(&["P", "measured_s", "bsp_estimate_s"]);
-    for p in (8..=64).step_by(8.max(effort.stride_small * 8)) {
+    let ps: Vec<usize> = (8..=64).step_by(8.max(effort.stride_small * 8)).collect();
+    for row in par_points(&ps, |&p| {
         let bench = bspbench(&xeon_cfg(p, SEED));
         let classic = ClassicBsp::new(p, bench.r, bench.g, bench.l);
         let measured = bspinprod(&xeon_cfg(p, SEED + 1), n, effort.inprod_reps);
-        t.push(vec![
+        vec![
             p.to_string(),
             fmt(measured.seconds),
             fmt(classic.inner_product_seconds(n)),
-        ]);
+        ]
+    }) {
+        t.push(row);
     }
     vec![write_csv(dir, "fig3_2", &t)]
 }
@@ -288,8 +308,8 @@ fn barrier_sweep(
     let mut predicted = CsvTable::new(&["P", "D", "T", "L"]);
     let mut abs_err = CsvTable::new(&["P", "D", "T", "L"]);
     let mut rel_err = CsvTable::new(&["P", "D", "T", "L"]);
-    let mut p = 2;
-    while p <= max {
+    let ps: Vec<usize> = (2..=max).step_by(stride).collect();
+    for (m_row, p_row, a_row, r_row) in par_points(&ps, |&p| {
         let placement = Placement::new(shape, PlacementPolicy::RoundRobin, p);
         let profile = profile_of(params, &placement, effort);
         let sim = BarrierSim::new(params, &placement);
@@ -307,11 +327,12 @@ fn barrier_sweep(
             a_row.push(fmt(pred - meas));
             r_row.push(format!("{:.4}", (pred - meas) / meas));
         }
+        (m_row, p_row, a_row, r_row)
+    }) {
         measured.push(m_row);
         predicted.push(p_row);
         abs_err.push(a_row);
         rel_err.push(r_row);
-        p += stride;
     }
     vec![
         write_csv(dir, &format!("{prefix}_measured"), &measured),
@@ -356,8 +377,8 @@ fn bsp_sync_sweep(
     effort: &Effort,
 ) -> Vec<PathBuf> {
     let mut t = CsvTable::new(&["P", "measured_s", "estimate_s"]);
-    let mut p = 2;
-    while p <= shape.total_cores() {
+    let ps: Vec<usize> = (2..=shape.total_cores()).step_by(stride).collect();
+    for row in par_points(&ps, |&p| {
         let placement = Placement::new(shape, PlacementPolicy::RoundRobin, p);
         let profile = profile_of(params, &placement, effort);
         let sim = BarrierSim::new(params, &placement);
@@ -367,8 +388,9 @@ fn bsp_sync_sweep(
             .measure(&pat, &payload, effort.barrier_reps, SEED)
             .mean();
         let est = predict_barrier(&pat, &profile.costs, &payload).total;
-        t.push(vec![p.to_string(), fmt(meas), fmt(est)]);
-        p += stride;
+        vec![p.to_string(), fmt(meas), fmt(est)]
+    }) {
+        t.push(row);
     }
     vec![write_csv(dir, name, &t)]
 }
@@ -453,8 +475,8 @@ fn hybrid_sweep(
     effort: &Effort,
 ) -> Vec<PathBuf> {
     let mut t = CsvTable::new(&["P", "D", "T", "L", "hybrid"]);
-    let mut p = 4;
-    while p <= shape.total_cores() {
+    let ps: Vec<usize> = (4..=shape.total_cores()).step_by(stride).collect();
+    for row in par_points(&ps, |&p| {
         let placement = Placement::new(shape, PlacementPolicy::RoundRobin, p);
         let profile = profile_of(params, &placement, effort);
         let sim = BarrierSim::new(params, &placement);
@@ -473,8 +495,9 @@ fn hybrid_sweep(
         row.push(fmt(sim
             .measure(&hybrid, &PayloadSchedule::none(), effort.barrier_reps, SEED)
             .mean()));
+        row
+    }) {
         t.push(row);
-        p += stride;
     }
     vec![write_csv(dir, name, &t)]
 }
@@ -512,8 +535,8 @@ fn adapted_sweep(
     effort: &Effort,
 ) -> Vec<PathBuf> {
     let mut t = CsvTable::new(&["P", "adapted_meas", "best_default_meas", "adapted_pred"]);
-    let mut p = 4;
-    while p <= shape.total_cores() {
+    let ps: Vec<usize> = (4..=shape.total_cores()).step_by(stride).collect();
+    for row in par_points(&ps, |&p| {
         let placement = Placement::new(shape, PlacementPolicy::RoundRobin, p);
         let profile = profile_of(params, &placement, effort);
         let sim = BarrierSim::new(params, &placement);
@@ -533,13 +556,14 @@ fn adapted_sweep(
                     .mean()
             })
             .fold(f64::INFINITY, f64::min);
-        t.push(vec![
+        vec![
             p.to_string(),
             fmt(adapted),
             fmt(best_default),
             fmt(report.predicted_total),
-        ]);
-        p += stride;
+        ]
+    }) {
+        t.push(row);
     }
     vec![write_csv(dir, name, &t)]
 }
@@ -584,7 +608,7 @@ pub fn table8_2(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
     let params = xeon_cluster_params();
     let model = xeon_core();
     let mut t = CsvTable::new(&["P", "MPI_s_per_iter", "MPI+R_s_per_iter"]);
-    for p in stencil_p_set() {
+    for row in par_points(&stencil_p_set(), |&p| {
         let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, p);
         let mpi = run_mpi_stencil(
             &params,
@@ -606,11 +630,9 @@ pub fn table8_2(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
             1.0,
             SEED,
         );
-        t.push(vec![
-            p.to_string(),
-            fmt(mpi.mean_iter()),
-            fmt(mpir.mean_iter()),
-        ]);
+        vec![p.to_string(), fmt(mpi.mean_iter()), fmt(mpir.mean_iter())]
+    }) {
+        t.push(row);
     }
     vec![write_csv(dir, "table8_2", &t)]
 }
@@ -624,7 +646,7 @@ fn scaling_table(dir: &Path, name: &str, n: usize, impls: &[&str], effort: &Effo
         header,
         rows: Vec::new(),
     };
-    for p in stencil_p_set() {
+    for row in par_points(&stencil_p_set(), |&p| {
         let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, p);
         let mut row = vec![p.to_string()];
         for &im in impls {
@@ -699,6 +721,8 @@ fn scaling_table(dir: &Path, name: &str, n: usize, impls: &[&str], effort: &Effo
                 fmt(time)
             });
         }
+        row
+    }) {
         t.push(row);
     }
     write_csv(dir, name, &t)
@@ -762,10 +786,11 @@ fn prediction_sweep(
     effort: &Effort,
 ) -> PathBuf {
     let mut t = CsvTable::new(&["P", "predicted_s", "measured_s"]);
-    for p in stencil_p_set() {
-        if p > shape.total_cores() {
-            continue;
-        }
+    let ps: Vec<usize> = stencil_p_set()
+        .into_iter()
+        .filter(|&p| p <= shape.total_cores())
+        .collect();
+    for row in par_points(&ps, |&p| {
         let placement = Placement::new(shape, PlacementPolicy::RoundRobin, p);
         let profile = profile_of(params, &placement, effort);
         let base = predict_bsp_iteration(&profile, model, &placement, n);
@@ -785,7 +810,9 @@ fn prediction_sweep(
         let cfg = BspConfig::new(params.clone(), placement, model.clone(), SEED);
         let measured =
             run_bsp_stencil(&cfg, n, effort.stencil_iters, discipline, false).mean_iter();
-        t.push(vec![p.to_string(), fmt(predicted), fmt(measured)]);
+        vec![p.to_string(), fmt(predicted), fmt(measured)]
+    }) {
+        t.push(row);
     }
     write_csv(dir, name, &t)
 }
@@ -915,21 +942,37 @@ pub fn collectives_predict_vs_sim(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
         ("xeon-8x2x4", xeon_cluster_params(), cluster_8x2x4()),
         ("opteron-12x2x6", opteron_cluster_params(), cluster_12x2x6()),
     ];
-    for (machine, params, shape) in machines {
-        let cpn = shape.cores_per_node();
-        let cases = [
-            ("homogeneous-1socket", shape.cores_per_socket()),
-            ("heterogeneous-2node", 2 * cpn),
-            ("multi-cluster", shape.total_cores()),
-        ];
-        for (topology, p) in cases {
-            let placement = Placement::new(shape, PlacementPolicy::RoundRobin, p);
-            let profile = profile_of(&params, &placement, effort);
-            for pat in catalog(p, 0, bytes) {
+    // One fan-out unit per (machine, topology) case; each case expands to
+    // one row per collective in catalog order, flattened back in case
+    // order so the CSV is byte-identical to the serial nesting.
+    let cases: Vec<(
+        &str,
+        &PlatformParams,
+        hpm_topology::ClusterShape,
+        &str,
+        usize,
+    )> = machines
+        .iter()
+        .flat_map(|(machine, params, shape)| {
+            let cpn = shape.cores_per_node();
+            [
+                ("homogeneous-1socket", shape.cores_per_socket()),
+                ("heterogeneous-2node", 2 * cpn),
+                ("multi-cluster", shape.total_cores()),
+            ]
+            .map(move |(topology, p)| (*machine, params, *shape, topology, p))
+        })
+        .collect();
+    for rows in par_points(&cases, |&(machine, params, shape, topology, p)| {
+        let placement = Placement::new(shape, PlacementPolicy::RoundRobin, p);
+        let profile = profile_of(params, &placement, effort);
+        catalog(p, 0, bytes)
+            .into_iter()
+            .map(|pat| {
                 let pred = predict_collective(&pat, &profile.costs).total;
-                let sim = simulate_collective(&pat, &params, &placement, effort.barrier_reps, SEED)
-                    .mean();
-                t.push(vec![
+                let sim =
+                    simulate_collective(&pat, params, &placement, effort.barrier_reps, SEED).mean();
+                vec![
                     machine.to_string(),
                     topology.to_string(),
                     p.to_string(),
@@ -937,8 +980,12 @@ pub fn collectives_predict_vs_sim(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
                     fmt(pred),
                     fmt(sim),
                     format!("{:.4}", (pred - sim) / sim),
-                ]);
-            }
+                ]
+            })
+            .collect::<Vec<_>>()
+    }) {
+        for row in rows {
+            t.push(row);
         }
     }
     vec![write_csv(dir, "collectives_predict_vs_sim", &t)]
@@ -956,7 +1003,7 @@ pub fn collectives_runtime(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
     if ps.last() != Some(&max) {
         ps.push(max); // always include the full machine
     }
-    for p in ps {
+    for row in par_points(&ps, |&p| {
         let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, p);
         let profile = profile_of(&params, &placement, effort);
         let cfg = BspConfig::new(params.clone(), placement, xeon_core(), SEED);
@@ -966,12 +1013,14 @@ pub fn collectives_runtime(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
             &profile.costs,
         )
         .total;
-        t.push(vec![
+        vec![
             p.to_string(),
             fmt(run.total_time),
             fmt(pred),
             run.supersteps.to_string(),
-        ]);
+        ]
+    }) {
+        t.push(row);
     }
     vec![write_csv(dir, "collectives_runtime", &t)]
 }

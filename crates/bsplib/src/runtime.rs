@@ -13,10 +13,12 @@
 //! 3. all processes enter the dissemination barrier, which carries the
 //!    message-count map as payload (§6.4–6.5) so each knows how many
 //!    inbound transfers remain;
-//! 4. a process completes the sync when the barrier is done *and* all its
-//!    inbound data landed — communication committed early that finished
+//! 4. a process completes the sync when the barrier is done, all its
+//!    inbound data landed *and* its own outbound transfers have released
+//!    the sending CPU — communication committed early that finished
 //!    during computation costs nothing extra, which is exactly the overlap
-//!    the Fig. 1.2 processing model exposes.
+//!    the Fig. 1.2 processing model exposes; a transfer committed right
+//!    before the sync still charges its sender-side `o_send` tail.
 //!
 //! Memory effects then apply in BSPlib order: gets read the pre-put state,
 //! puts land (deterministically ordered), sends appear in next-superstep
@@ -41,6 +43,53 @@ pub trait BspProgram {
     fn superstep(&mut self, ctx: &mut BspCtx) -> StepOutcome;
 }
 
+/// Which barrier pattern the payload-carrying sync executes (§6.4).
+///
+/// The thesis' BSPlib sync is a dissemination barrier, but Ch. 5/7 study
+/// linear and tree shapes on the same platforms; exposing the choice here
+/// lets the runtime replay those comparisons end-to-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPattern {
+    /// The §6.4 default: dissemination, carrying the exact §6.5
+    /// message-count map schedule.
+    #[default]
+    Dissemination,
+    /// Centralized gather to a root followed by its serial release.
+    Linear { root: usize },
+    /// Binary-tree gather/release.
+    BinaryTree,
+}
+
+impl SyncPattern {
+    /// Builds the pattern and its count-map payload schedule for `p`
+    /// processes. Non-dissemination shapes carry one `4·p`-byte counter
+    /// row per signal — an approximation of the aggregated map the exact
+    /// §6.5 schedule spells out for dissemination.
+    fn build(&self, p: usize) -> (Option<hpm_core::pattern::BarrierPattern>, PayloadSchedule) {
+        use hpm_barriers::patterns::{binary_tree, linear};
+        use hpm_core::pattern::CommPattern;
+        if p < 2 {
+            return (None, PayloadSchedule::none());
+        }
+        match *self {
+            SyncPattern::Dissemination => (
+                Some(dissemination(p)),
+                PayloadSchedule::dissemination_count_map(p),
+            ),
+            SyncPattern::Linear { root } => {
+                let pat = linear(p, root);
+                let payload = PayloadSchedule::uniform(pat.stages(), 4 * p as u64);
+                (Some(pat), payload)
+            }
+            SyncPattern::BinaryTree => {
+                let pat = binary_tree(p);
+                let payload = PayloadSchedule::uniform(pat.stages(), 4 * p as u64);
+                (Some(pat), payload)
+            }
+        }
+    }
+}
+
 /// Runtime configuration.
 #[derive(Debug, Clone)]
 pub struct BspConfig {
@@ -50,6 +99,8 @@ pub struct BspConfig {
     pub seed: u64,
     /// Runaway guard: the run errors out beyond this many supersteps.
     pub max_supersteps: usize,
+    /// Barrier shape the sync executes; dissemination unless overridden.
+    pub sync: SyncPattern,
 }
 
 impl BspConfig {
@@ -66,6 +117,7 @@ impl BspConfig {
             proc_model,
             seed,
             max_supersteps: 100_000,
+            sync: SyncPattern::default(),
         }
     }
 }
@@ -91,7 +143,21 @@ pub enum BspError {
 pub struct SuperstepTrace {
     /// When each process finished its program code (sync entry).
     pub compute_end: Vec<f64>,
-    /// When each process completed the sync (next superstep entry).
+    /// When each process' last *outbound* transfer (one-sided header,
+    /// put/send payload or get reply it served) released its CPU; equals
+    /// `compute_end` for processes that sourced nothing.
+    pub send_complete: Vec<f64>,
+    /// When each process absorbed its last *inbound* transfer; equals
+    /// `compute_end` for processes that received nothing.
+    pub recv_complete: Vec<f64>,
+    /// When each process left the dissemination protocol itself (equals
+    /// `compute_end` when `p == 1` and no barrier runs). Useful for
+    /// diagnosing which term binds `completion`.
+    pub sync_exit: Vec<f64>,
+    /// When each process completed the sync (next superstep entry). Never
+    /// earlier than `send_complete` or `recv_complete`: a process may not
+    /// leave the sync while its own issue tails or inbound data are still
+    /// in flight.
     pub completion: Vec<f64>,
     /// Total payload bytes committed during the superstep.
     pub payload_bytes: u64,
@@ -156,8 +222,7 @@ pub fn run_spmd<P: BspProgram>(
     let mut clocks = vec![0.0f64; p];
     let mut rng = derive_rng(cfg.seed, 0xB5F);
     let mut net = NetState::new(&cfg.placement);
-    let barrier_pattern = (p >= 2).then(|| dissemination(p));
-    let payload = PayloadSchedule::dissemination_count_map(p);
+    let (barrier_pattern, payload) = cfg.sync.build(p);
     let sim = BarrierSim::new(&cfg.params, &cfg.placement);
     let mut supersteps = Vec::new();
 
@@ -259,8 +324,20 @@ pub fn run_spmd<P: BspProgram>(
             Some(pat) => sim.run_once(pat, &payload, &compute_end, &mut net, &mut rng),
             None => compute_end.clone(),
         };
+        // A process completes the sync when the barrier is done, all its
+        // inbound data landed, AND its own outbound transfers' sender-side
+        // cost has elapsed — a sender that issued an hp-put just before
+        // the sync still owns its CPU for the `o_send` tail (and a get
+        // owner for the reply it serves), exactly as the MPI stencil's
+        // blocking stages account it.
+        let send_complete: Vec<f64> = (0..p)
+            .map(|i| compute_end[i].max(r1.last_out[i]).max(r2.last_out[i]))
+            .collect();
+        let recv_complete: Vec<f64> = (0..p)
+            .map(|i| compute_end[i].max(r1.last_in[i]).max(r2.last_in[i]))
+            .collect();
         let completion: Vec<f64> = (0..p)
-            .map(|i| barrier_exit[i].max(r1.last_in[i]).max(r2.last_in[i]))
+            .map(|i| barrier_exit[i].max(recv_complete[i]).max(send_complete[i]))
             .collect();
 
         // Phase 4: memory effects in BSPlib order.
@@ -319,6 +396,9 @@ pub fn run_spmd<P: BspProgram>(
 
         supersteps.push(SuperstepTrace {
             compute_end,
+            send_complete,
+            recv_complete,
+            sync_exit: barrier_exit,
             completion: completion.clone(),
             payload_bytes,
             ops: flat_ops.len(),
@@ -668,5 +748,169 @@ mod tests {
         let t1 = overlap_run(true);
         let t2 = overlap_run(true);
         assert_eq!(t1, t2);
+    }
+
+    /// A platform where the sender-side message overhead of the
+    /// cross-socket (same-node) link dominates every other cost, while
+    /// same-socket signalling stays cheap. Noiseless, so every timing is
+    /// an exact composition of these constants.
+    fn send_tail_params() -> PlatformParams {
+        use hpm_simnet::params::LinkCost;
+        use hpm_stats::rng::JitterModel;
+        let link = |o_send: f64, latency: f64| LinkCost {
+            o_send,
+            o_recv: 1e-8,
+            latency,
+            inv_bandwidth: 0.0,
+        };
+        PlatformParams {
+            name: "send-tail".into(),
+            call_overhead: 1e-8,
+            same_socket: link(1e-8, 1e-9),
+            same_node: link(1e-3, 2e-9),
+            remote: link(1e-8, 3e-9),
+            nic_gap: 0.0,
+            ack_factor: 0.0,
+            unexpected_penalty: 0.0,
+            jitter: JitterModel::NONE,
+        }
+        .validated()
+    }
+
+    /// Process 1 computes, then commits one 1-byte hp-put to process 4
+    /// right before the sync; everyone else enters the sync immediately.
+    struct LateHpPut {
+        step: usize,
+        buf: Option<RegHandle>,
+    }
+
+    impl BspProgram for LateHpPut {
+        fn superstep(&mut self, ctx: &mut BspCtx) -> StepOutcome {
+            match self.step {
+                0 => {
+                    let h = ctx.alloc(1);
+                    ctx.push_reg(h);
+                    self.buf = Some(h);
+                    self.step = 1;
+                    StepOutcome::Continue
+                }
+                1 => {
+                    if ctx.pid() == 1 {
+                        ctx.elapse(0.05);
+                        let h = self.buf.expect("allocated");
+                        ctx.hpput(4, h, 0, &[7]);
+                    }
+                    self.step = 2;
+                    StepOutcome::Continue
+                }
+                _ => StepOutcome::Halt,
+            }
+        }
+    }
+
+    /// Five processes packed on one node: ranks 0–3 share socket 0, rank
+    /// 4 sits on socket 1, so the 1→4 hp-put crosses the expensive
+    /// cross-socket link while the rooted sync exchanges only cheap
+    /// same-socket signals with rank 1.
+    fn late_put_run(sync: SyncPattern) -> BspRunResult<LateHpPut> {
+        let mut cfg = BspConfig::new(
+            send_tail_params(),
+            Placement::new(cluster_8x2x4(), PlacementPolicy::Block, 5),
+            xeon_core(),
+            7,
+        );
+        cfg.sync = sync;
+        run_spmd(&cfg, |_| LateHpPut { step: 0, buf: None }).expect("run succeeds")
+    }
+
+    /// Regression (the PR 3 headline bugfix): a process may not complete
+    /// the sync before its own issued transfers' sender-side cost has
+    /// elapsed. Pre-fix, `completion` ignored `send_done` entirely, so
+    /// process 1 here left the rooted sync (whose signals never route
+    /// through the put's receiver) while the hp-put's cross-socket
+    /// `o_send` tail was still occupying its CPU.
+    #[test]
+    fn sync_waits_for_sender_side_tails() {
+        let res = late_put_run(SyncPattern::Linear { root: 0 });
+        let tr = &res.supersteps[1];
+        let o_send_tail = 1e-3;
+        // The late-issued hp-put's o_send tail extends past compute end …
+        assert!(
+            tr.send_complete[1] > tr.compute_end[1] + 0.5 * o_send_tail,
+            "send tail {} vs compute end {}",
+            tr.send_complete[1],
+            tr.compute_end[1]
+        );
+        // … and past both other completion drivers (barrier exit and
+        // inbound data), so only the sender-side accounting can cover it.
+        assert!(
+            tr.send_complete[1] > tr.sync_exit[1].max(tr.recv_complete[1]) + 0.25 * o_send_tail,
+            "scenario must make the send tail the binding term: send {} sync {} recv {}",
+            tr.send_complete[1],
+            tr.sync_exit[1],
+            tr.recv_complete[1]
+        );
+        // The teeth: completion must wait for the tail. The pre-fix
+        // runtime computed completion = max(sync exit, inbound) and fails
+        // here by ~o_send.
+        assert!(
+            tr.completion[1] >= tr.send_complete[1],
+            "sync must wait for the sender-side tail: completion {} < send {}",
+            tr.completion[1],
+            tr.send_complete[1]
+        );
+    }
+
+    /// The completion invariant over every sync shape, process and
+    /// superstep: completion never precedes a process' own send tails,
+    /// its inbound data, its barrier exit, or its compute end.
+    #[test]
+    fn completion_covers_send_and_recv_tails_for_all_sync_shapes() {
+        for sync in [
+            SyncPattern::Dissemination,
+            SyncPattern::Linear { root: 0 },
+            SyncPattern::Linear { root: 2 },
+            SyncPattern::BinaryTree,
+        ] {
+            let res = late_put_run(sync);
+            assert_eq!(res.superstep_count(), 3);
+            for (k, tr) in res.supersteps.iter().enumerate() {
+                for i in 0..tr.completion.len() {
+                    assert!(
+                        tr.completion[i] >= tr.send_complete[i],
+                        "{sync:?} step {k} pid {i}: completion {} < send tail {}",
+                        tr.completion[i],
+                        tr.send_complete[i]
+                    );
+                    assert!(tr.completion[i] >= tr.recv_complete[i]);
+                    assert!(tr.completion[i] >= tr.sync_exit[i]);
+                    assert!(tr.completion[i] >= tr.compute_end[i]);
+                }
+            }
+        }
+    }
+
+    /// All sync shapes deliver the data and synchronize correctly: the
+    /// ring-rotation program gives identical results under each.
+    #[test]
+    fn alternative_sync_patterns_deliver_puts() {
+        for sync in [
+            SyncPattern::Linear { root: 0 },
+            SyncPattern::Linear { root: 3 },
+            SyncPattern::BinaryTree,
+        ] {
+            let mut cfg = config(8);
+            cfg.sync = sync;
+            let res = run_spmd(&cfg, |_| RotatePut {
+                step: 0,
+                buf: None,
+                seen: Vec::new(),
+            })
+            .expect("run succeeds");
+            for (pid, prog) in res.programs.iter().enumerate() {
+                let left = ((pid + 8) - 1) % 8;
+                assert_eq!(prog.seen, vec![left as u8], "{sync:?} pid {pid}");
+            }
+        }
     }
 }

@@ -1,0 +1,234 @@
+//! Deterministic scoped-thread fan-out for the measurement layers.
+//!
+//! Every measurement loop in this workspace — barrier repetitions,
+//! microbenchmark process pairs, per-p figure sweeps — is embarrassingly
+//! parallel *and* bit-for-bit reproducible, because each work item derives
+//! its own RNG stream from `(seed, item index)` rather than sharing a
+//! sequential generator. That makes the parallel schedule irrelevant to
+//! the numbers: [`par_map_indexed`] may execute items in any order on any
+//! number of threads, yet the returned vector is always identical to what
+//! a serial `(0..n).map(f).collect()` produces.
+//!
+//! The implementation is a work-stealing loop over [`std::thread::scope`]:
+//! no thread pool to initialize, no external dependency (the build
+//! environment has no registry access, so rayon is not an option), and no
+//! unsafe code — each worker collects `(index, value)` pairs privately and
+//! the results are scattered back into input order after the join.
+//!
+//! The fan-out width is a process-wide setting ([`set_threads`] /
+//! [`threads`]) so that deep call chains (an experiment sweep calling the
+//! microbenchmark calling the barrier executor) need not thread a
+//! configuration value through every signature; nested `par_map_indexed`
+//! calls simply run their inner items on the calling worker.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide fan-out width; 0 means "not set, use the hardware".
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Serializes [`with_threads`] scopes so concurrent callers (e.g. tests
+/// pinning different widths) cannot race on the global setting.
+static WIDTH_LOCK: Mutex<()> = Mutex::new(());
+
+/// Set when a worker is already inside a fan-out, so nested calls stay
+/// serial instead of oversubscribing.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Sets the process-wide fan-out width. `None` (the default) means one
+/// worker per available hardware thread; `Some(1)` forces serial
+/// execution. Results are identical either way — this knob trades wall
+/// clock for cores, never numbers.
+pub fn set_threads(n: Option<usize>) {
+    THREADS.store(n.map_or(0, |n| n.max(1)), Ordering::SeqCst);
+}
+
+/// Runs `f` with the fan-out width pinned to `n`, restoring the previous
+/// setting afterwards (also on panic). Scopes are serialized process-wide,
+/// so concurrent callers — tests comparing serial against parallel runs,
+/// say — cannot clobber each other's width mid-measurement.
+pub fn with_threads<R>(n: Option<usize>, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREADS.store(self.0, Ordering::SeqCst);
+        }
+    }
+    let _guard = WIDTH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = Restore(THREADS.load(Ordering::SeqCst));
+    set_threads(n);
+    f()
+}
+
+/// The fan-out width [`par_map_indexed`] will use right now.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Maps `f` over `0..n` on up to [`threads`] scoped workers, returning
+/// results in index order.
+///
+/// Determinism contract: `f` must derive any randomness it needs from its
+/// index alone (e.g. `derive_rng(seed, k)`), never from shared mutable
+/// state. Under that contract the output is bit-identical to the serial
+/// `(0..n).map(f).collect()` for every thread count — an equality the
+/// workspace enforces with tests at each ported call site.
+///
+/// Panics in `f` propagate to the caller (the scope re-raises them).
+pub fn par_map_indexed<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = threads().min(n);
+    // Serial fast path: no items, one worker, or already inside a fan-out
+    // (nested parallelism would oversubscribe without speeding anything
+    // up — the outer level owns the cores).
+    if workers <= 1 || ACTIVE.swap(true, Ordering::SeqCst) {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut parts: Vec<Vec<(usize, U)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= n {
+                            break;
+                        }
+                        local.push((k, f(k)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => parts.push(part),
+                Err(payload) => {
+                    ACTIVE.store(false, Ordering::SeqCst);
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    });
+    ACTIVE.store(false, Ordering::SeqCst);
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    for (k, v) in parts.into_iter().flatten() {
+        debug_assert!(slots[k].is_none(), "index {k} produced twice");
+        slots[k] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced exactly once"))
+        .collect()
+}
+
+/// Maps `f` over a slice on up to [`threads`] workers, preserving order —
+/// sugar over [`par_map_indexed`] for sweeping a list of measurement
+/// points.
+pub fn par_map_slice<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_indexed(items.len(), |k| f(k, &items[k]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_index_order() {
+        for &t in &[1usize, 2, 3, 8] {
+            let got = with_threads(Some(t), || par_map_indexed(100, |k| k * k));
+            let want: Vec<usize> = (0..100).map(|k| k * k).collect();
+            assert_eq!(got, want, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let got: Vec<u32> = with_threads(Some(4), || par_map_indexed(0, |_| unreachable!()));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn slice_variant_sees_items_and_indices() {
+        let items = vec!["a", "b", "c"];
+        let got = with_threads(Some(2), || par_map_slice(&items, |k, s| format!("{k}:{s}")));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn parallel_equals_serial_for_derived_rng_work() {
+        use rand::Rng;
+        let work = |k: usize| {
+            let mut rng = hpm_stats::rng::derive_rng(42, k as u64);
+            (0..32)
+                .map(|_| rng.gen::<u64>())
+                .fold(0u64, u64::wrapping_add)
+        };
+        let serial: Vec<u64> = (0..64).map(work).collect();
+        for &t in &[2usize, 4, 7] {
+            let par = with_threads(Some(t), || par_map_indexed(64, work));
+            assert_eq!(par, serial, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn nested_calls_fall_back_to_serial() {
+        let got = with_threads(Some(4), || {
+            par_map_indexed(4, |i| par_map_indexed(4, move |j| i * 10 + j))
+        });
+        let want: Vec<Vec<usize>> = (0..4)
+            .map(|i| (0..4).map(|j| i * 10 + j).collect())
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        with_threads(Some(5), || {
+            par_map_indexed(hits.len(), |k| hits[k].fetch_add(1, Ordering::SeqCst))
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn threads_setting_round_trips() {
+        let before = THREADS.load(Ordering::SeqCst);
+        with_threads(Some(3), || assert_eq!(threads(), 3));
+        assert_eq!(THREADS.load(Ordering::SeqCst), before, "width restored");
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn panic_propagates_and_width_is_restored() {
+        let before = THREADS.load(Ordering::SeqCst);
+        let r = std::panic::catch_unwind(|| {
+            with_threads(Some(2), || {
+                par_map_indexed(8, |k| {
+                    if k == 5 {
+                        panic!("boom");
+                    }
+                    k
+                })
+            })
+        });
+        assert!(r.is_err());
+        assert_eq!(THREADS.load(Ordering::SeqCst), before, "width restored");
+    }
+}

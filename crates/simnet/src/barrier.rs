@@ -138,19 +138,22 @@ impl<'a> BarrierSim<'a> {
     }
 
     /// Repeated runs with independent jitter streams.
-    pub fn measure<P: CommPattern + ?Sized>(
+    ///
+    /// Every repetition derives its own RNG stream from `(seed, rep)` and
+    /// runs on a cold network, so repetitions are independent and the
+    /// fan-out over [`hpm_par::par_map_indexed`] returns samples
+    /// bit-identical to a serial loop at any thread count.
+    pub fn measure<P: CommPattern + ?Sized + Sync>(
         &self,
         pattern: &P,
         payload: &PayloadSchedule,
         reps: usize,
         seed: u64,
     ) -> BarrierMeasurement {
-        let samples = (0..reps)
-            .map(|r| {
-                let mut rng = derive_rng(seed, r as u64);
-                self.run_total(pattern, payload, &mut rng)
-            })
-            .collect();
+        let samples = hpm_par::par_map_indexed(reps, |r| {
+            let mut rng = derive_rng(seed, r as u64);
+            self.run_total(pattern, payload, &mut rng)
+        });
         BarrierMeasurement { samples }
     }
 }
@@ -192,6 +195,27 @@ mod tests {
         let a = sim.measure(&dissemination(32), &PayloadSchedule::none(), 5, 77);
         let b = sim.measure(&dissemination(32), &PayloadSchedule::none(), 5, 77);
         assert_eq!(a.samples, b.samples);
+    }
+
+    /// Parallel repetitions return the same samples, in the same order,
+    /// as a serial loop — per-rep derived RNG streams make the schedule
+    /// irrelevant.
+    #[test]
+    fn parallel_measure_matches_serial_bitwise() {
+        let params = xeon_cluster_params();
+        let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 24);
+        let sim = BarrierSim::new(&params, &placement);
+        for seed in [7u64, 77, 777] {
+            let serial = hpm_par::with_threads(Some(1), || {
+                sim.measure(&dissemination(24), &PayloadSchedule::none(), 16, seed)
+            });
+            for threads in [2usize, 5, 16] {
+                let par = hpm_par::with_threads(Some(threads), || {
+                    sim.measure(&dissemination(24), &PayloadSchedule::none(), 16, seed)
+                });
+                assert_eq!(serial.samples, par.samples, "seed {seed} threads {threads}");
+            }
+        }
     }
 
     #[test]

@@ -33,9 +33,16 @@ pub struct ExchangeResult {
     pub processed: Vec<f64>,
     /// Per message (input order): when the sender's CPU was released.
     pub send_done: Vec<f64>,
-    /// Per process: time its last inbound message was absorbed (its own
-    /// issue completion for senders); 0 when the process saw no traffic.
+    /// Per process: time its last *inbound* message was absorbed; 0 when
+    /// nothing was addressed to it. Sender-side completion is tracked
+    /// separately in [`ExchangeResult::last_out`].
     pub last_in: Vec<f64>,
+    /// Per process: when the last message it *sourced* released its CPU
+    /// (the `send_done` of its latest-finishing outbound message); 0 when
+    /// it sent nothing. A synchronization point must wait for this too —
+    /// a process has not completed a superstep while its own issue tails
+    /// are still running.
+    pub last_out: Vec<f64>,
 }
 
 /// Resolves all messages of a superstep against the network state.
@@ -61,6 +68,7 @@ pub fn resolve_exchange(
     let mut processed = vec![0.0; msgs.len()];
     let mut send_done = vec![0.0; msgs.len()];
     let mut last_in = vec![0.0f64; p];
+    let mut last_out = vec![0.0f64; p];
     for idx in order {
         let m = &msgs[idx];
         assert!(m.src < p && m.dst < p, "message endpoints out of range");
@@ -70,11 +78,15 @@ pub fn resolve_exchange(
         if done > last_in[m.dst] {
             last_in[m.dst] = done;
         }
+        if cpu > last_out[m.src] {
+            last_out[m.src] = cpu;
+        }
     }
     ExchangeResult {
         processed,
         send_done,
         last_in,
+        last_out,
     }
 }
 
@@ -145,6 +157,41 @@ mod tests {
             r.processed.iter().copied().fold(0.0, f64::max)
         );
         assert_eq!(r.last_in[0], 0.0);
+    }
+
+    #[test]
+    fn last_out_tracks_sender_side_completion() {
+        let (params, placement) = setup(16);
+        let mut net = NetState::new(&placement);
+        let mut rng = derive_rng(8, 0);
+        let msgs = [
+            ExchangeMsg {
+                src: 0,
+                dst: 3,
+                bytes: 100,
+                issue: 0.0,
+            },
+            ExchangeMsg {
+                src: 0,
+                dst: 5,
+                bytes: 100,
+                issue: 1e-6,
+            },
+            ExchangeMsg {
+                src: 2,
+                dst: 3,
+                bytes: 100,
+                issue: 0.0,
+            },
+        ];
+        let r = resolve_exchange(&params, &placement, &msgs, &mut net, &mut rng);
+        assert_eq!(r.last_out[0], r.send_done[0].max(r.send_done[1]));
+        assert_eq!(r.last_out[2], r.send_done[2]);
+        assert_eq!(r.last_out[3], 0.0, "pure receivers have no send tail");
+        // A message is never absorbed before its sender's CPU released it.
+        for k in 0..msgs.len() {
+            assert!(r.processed[k] >= r.send_done[k]);
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::params::PlatformParams;
 use hpm_core::hockney::HeteroHockney;
 use hpm_core::matrix::DMat;
 use hpm_core::predictor::CommCosts;
-use hpm_stats::quantile::median;
+use hpm_stats::quantile::quantile_inplace;
 use hpm_stats::regression::LinearFit;
 use hpm_stats::rng::derive_rng;
 use hpm_topology::Placement;
@@ -69,6 +69,13 @@ pub struct PlatformProfile {
 }
 
 /// Runs the full §5.6.3 benchmark over all ordered process pairs.
+///
+/// Every measured unit — a diagonal `O_i` entry or an ordered pair's
+/// `(O_ij, L_ij, β_ij)` triple — derives its own RNG stream from the seed
+/// and its matrix position, so the units are independent and run on the
+/// [`hpm_par`] fan-out with bit-identical results at any thread count.
+/// Each pair unit reuses one per-worker [`NetState`] scratch ([`NetState::reset`]
+/// between pings) and one sample buffer instead of allocating per ping.
 pub fn bench_platform(
     params: &PlatformParams,
     placement: &Placement,
@@ -79,65 +86,72 @@ pub fn bench_platform(
     let mut o = DMat::zeros(p, p);
     let mut l = DMat::zeros(p, p);
     let mut beta = DMat::zeros(p, p);
-
-    // O_i: median cost of an empty invocation.
-    for i in 0..p {
-        let mut rng = derive_rng(seed, 1_000_000 + i as u64);
-        let samples: Vec<f64> = (0..cfg.reps)
-            .map(|_| params.call_overhead * params.jitter.draw(&mut rng))
-            .collect();
-        o.set(i, i, median(&samples));
-    }
-
     let (lo, hi) = cfg.size_exponents;
     assert!(lo <= hi, "size exponent range is empty");
-    for i in 0..p {
-        for j in 0..p {
-            if i == j {
-                continue;
-            }
-            let mut rng = derive_rng(seed, (i * p + j) as u64);
-            // O_ij: time to start k requests, regressed on k. Starting a
-            // request costs the sender only its per-message CPU overhead
-            // (the transfers complete later); the gradient isolates it.
-            let lc = params.link(placement.link(i, j));
-            let mut pts = Vec::new();
-            for k in 1..=cfg.max_requests {
-                let samples: Vec<f64> = (0..cfg.reps)
-                    .map(|_| {
-                        let mut t = params.call_overhead * params.jitter.draw(&mut rng);
-                        for _ in 0..k {
-                            t += lc.o_send * params.jitter.draw(&mut rng);
-                        }
-                        t
-                    })
-                    .collect();
-                pts.push((k as f64, median(&samples)));
-            }
-            o.set(i, j, LinearFit::fit(&pts).nonneg_slope());
 
-            // L_ij and β_ij: one-way transfer time over growing sizes.
-            // Each ping runs on a quiet network (fresh state), receiver
-            // already posted — the §5.6.3 benchmark scenario.
-            let mut size_pts = Vec::new();
-            for e in lo..=hi {
-                let bytes = 1u64 << e;
-                let samples: Vec<f64> = (0..cfg.reps)
-                    .map(|_| {
-                        let mut net = NetState::new(placement);
-                        let (_, processed) = net
-                            .signal_round_trip(params, placement, &mut rng, i, j, 0.0, bytes, 0.0);
-                        // One-way time: processed at receiver (the ack is
-                        // transport-internal and not application-visible).
-                        processed
-                    })
-                    .collect();
-                size_pts.push((bytes as f64, median(&samples)));
+    // O_i: median cost of an empty invocation.
+    let diag: Vec<f64> = hpm_par::par_map_indexed(p, |i| {
+        let mut rng = derive_rng(seed, 1_000_000 + i as u64);
+        let mut samples: Vec<f64> = (0..cfg.reps)
+            .map(|_| params.call_overhead * params.jitter.draw(&mut rng))
+            .collect();
+        quantile_inplace(&mut samples, 0.5)
+    });
+    for (i, &v) in diag.iter().enumerate() {
+        o.set(i, i, v);
+    }
+
+    let pairs: Vec<(usize, usize)> = (0..p)
+        .flat_map(|i| (0..p).filter(move |&j| j != i).map(move |j| (i, j)))
+        .collect();
+    let triples = hpm_par::par_map_slice(&pairs, |_, &(i, j)| {
+        let mut rng = derive_rng(seed, (i * p + j) as u64);
+        // Per-pair scratch, reused across every ping of this unit: one
+        // network state (reset to the quiet-network benchmark scenario
+        // between pings) and one sample buffer for the medians.
+        let mut net = NetState::new(placement);
+        let mut samples = vec![0.0f64; cfg.reps];
+
+        // O_ij: time to start k requests, regressed on k. Starting a
+        // request costs the sender only its per-message CPU overhead
+        // (the transfers complete later); the gradient isolates it.
+        let lc = params.link(placement.link(i, j));
+        let mut pts = Vec::with_capacity(cfg.max_requests);
+        for k in 1..=cfg.max_requests {
+            for s in samples.iter_mut() {
+                let mut t = params.call_overhead * params.jitter.draw(&mut rng);
+                for _ in 0..k {
+                    t += lc.o_send * params.jitter.draw(&mut rng);
+                }
+                *s = t;
             }
-            let fit = LinearFit::fit(&size_pts);
-            l.set(i, j, fit.nonneg_intercept());
-            beta.set(i, j, fit.nonneg_slope());
+            pts.push((k as f64, quantile_inplace(&mut samples, 0.5)));
         }
+        let o_ij = LinearFit::fit(&pts).nonneg_slope();
+
+        // L_ij and β_ij: one-way transfer time over growing sizes.
+        // Each ping runs on a quiet network, receiver already posted —
+        // the §5.6.3 benchmark scenario.
+        let mut size_pts = Vec::with_capacity((hi - lo + 1) as usize);
+        for e in lo..=hi {
+            let bytes = 1u64 << e;
+            for s in samples.iter_mut() {
+                net.reset();
+                let (_, processed) =
+                    net.signal_round_trip(params, placement, &mut rng, i, j, 0.0, bytes, 0.0);
+                // One-way time: processed at receiver (the ack is
+                // transport-internal and not application-visible).
+                *s = processed;
+            }
+            size_pts.push((bytes as f64, quantile_inplace(&mut samples, 0.5)));
+        }
+        let fit = LinearFit::fit(&size_pts);
+        (o_ij, fit.nonneg_intercept(), fit.nonneg_slope())
+    });
+    for (&(i, j), &(o_ij, l_ij, b_ij)) in pairs.iter().zip(triples.iter()) {
+        o.set(i, j, o_ij);
+        l.set(i, j, l_ij);
+        beta.set(i, j, b_ij);
     }
 
     let costs = CommCosts::new(o, l.clone(), beta.clone());
@@ -219,6 +233,25 @@ mod tests {
         let (_, b) = profile(8, 16);
         assert_eq!(a.costs.l, b.costs.l);
         assert_eq!(a.costs.o, b.costs.o);
+    }
+
+    /// The parallel fan-out must be invisible in the numbers: every
+    /// thread count produces bit-identical matrices for several seeds.
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        for seed in [1u64, 99, 20121116] {
+            let (_, serial) = hpm_par::with_threads(Some(1), || profile(12, seed));
+            let mut par = Vec::new();
+            for threads in [2usize, 3, 8] {
+                par.push(hpm_par::with_threads(Some(threads), || profile(12, seed)).1);
+            }
+            for prof in par {
+                assert_eq!(serial.costs.o, prof.costs.o, "seed {seed}");
+                assert_eq!(serial.costs.l, prof.costs.l, "seed {seed}");
+                assert_eq!(serial.costs.beta, prof.costs.beta, "seed {seed}");
+                assert_eq!(serial.hockney.beta, prof.hockney.beta, "seed {seed}");
+            }
+        }
     }
 
     #[test]

@@ -1,14 +1,15 @@
 //! Sample summaries: count, mean, standard deviation, extrema and median.
 
-use crate::quantile::median;
+use crate::quantile::quantile_sorted;
 
 /// A numerically stable summary of a sample of observations.
 ///
 /// Means and standard deviations are accumulated with Welford's online
 /// algorithm, so summaries can be built incrementally while a benchmark runs
 /// without storing every observation. The median, which the thesis prefers
-/// for latency statistics because of heavy-tailed OS noise (§5.6.3), is
-/// computed on demand from the retained observations.
+/// for latency statistics because of heavy-tailed OS noise (§5.6.3), reads
+/// an insertion-maintained sorted copy of the retained observations, so
+/// querying it repeatedly allocates and sorts nothing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     count: usize,
@@ -17,6 +18,7 @@ pub struct Summary {
     min: f64,
     max: f64,
     values: Vec<f64>,
+    sorted: Vec<f64>,
 }
 
 impl Default for Summary {
@@ -35,6 +37,7 @@ impl Summary {
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
             values: Vec::new(),
+            sorted: Vec::new(),
         }
     }
 
@@ -57,6 +60,8 @@ impl Summary {
         self.min = self.min.min(x);
         self.max = self.max.max(x);
         self.values.push(x);
+        let pos = self.sorted.partition_point(|&v| v < x);
+        self.sorted.insert(pos, x);
     }
 
     /// Number of observations.
@@ -74,11 +79,16 @@ impl Summary {
     }
 
     /// Unbiased sample variance (n − 1 denominator); 0 when n < 2.
+    ///
+    /// Clamped at zero: catastrophic cancellation on near-constant samples
+    /// riding a large offset can leave the Welford accumulator a tiny
+    /// negative number, which would make `std_dev` NaN and poison every
+    /// statistic derived from it downstream.
     pub fn variance(&self) -> f64 {
         if self.count < 2 {
             0.0
         } else {
-            self.m2 / (self.count as f64 - 1.0)
+            (self.m2 / (self.count as f64 - 1.0)).max(0.0)
         }
     }
 
@@ -106,14 +116,26 @@ impl Summary {
         self.max
     }
 
-    /// Sample median; 0 for an empty summary.
+    /// Sample median; 0 for an empty summary. Allocation-free: reads the
+    /// maintained sorted copy.
     pub fn median(&self) -> f64 {
-        median(&self.values)
+        quantile_sorted(&self.sorted, 0.5)
+    }
+
+    /// Linear-interpolated quantile of the retained observations;
+    /// allocation-free for the same reason as [`Summary::median`].
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_sorted(&self.sorted, q)
     }
 
     /// Borrow the retained observations in insertion order.
     pub fn values(&self) -> &[f64] {
         &self.values
+    }
+
+    /// Borrow the retained observations in ascending order.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
     }
 
     /// Coefficient of variation `s / |mean|`; +inf when the mean is zero.
@@ -179,6 +201,65 @@ mod tests {
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() as f64 - 1.0);
         assert!((s.mean() - mean).abs() / mean.abs() < 1e-12);
         assert!((s.variance() - var).abs() / var < 1e-9);
+    }
+
+    /// Near-constant observations riding a large offset: floating-point
+    /// cancellation must never surface as a negative variance or a NaN
+    /// standard deviation.
+    #[test]
+    fn variance_never_negative_under_cancellation() {
+        // A handful of adversarial shapes around 1e15–1e16 offsets.
+        let offsets = [1e12, 1e15, 4.0 / 3.0 * 1e16];
+        let wiggles = [0.0, 1e-3, 0.5, 1.0];
+        for &off in &offsets {
+            for &w in &wiggles {
+                let mut s = Summary::new();
+                for i in 0..1000 {
+                    // Alternating ±w around the offset, plus a rounding-
+                    // hostile irrational step.
+                    let x = off + if i % 2 == 0 { w } else { -w } + (i as f64).sqrt() * 1e-9;
+                    s.push(x);
+                }
+                assert!(
+                    s.variance() >= 0.0,
+                    "variance {} at offset {off} wiggle {w}",
+                    s.variance()
+                );
+                assert!(
+                    s.std_dev().is_finite() && s.std_dev() >= 0.0,
+                    "std_dev {} at offset {off} wiggle {w}",
+                    s.std_dev()
+                );
+                assert!(s.coeff_of_variation().is_finite());
+            }
+        }
+        // The exact constant-large-value case, where m2 should be 0 but
+        // cancellation may leave dust of either sign.
+        let s = Summary::from_slice(&[1e16 + 1.0; 64]);
+        assert!(s.variance() >= 0.0);
+        assert!(s.std_dev() >= 0.0);
+    }
+
+    /// The maintained sorted copy matches a from-scratch sort at every
+    /// prefix, so median/quantile queries stay allocation-free and right.
+    #[test]
+    fn sorted_cache_tracks_insertions() {
+        use crate::quantile::{median, quantile};
+        let mut rng = crate::rng::derive_rng(77, 1);
+        use rand::Rng;
+        let mut s = Summary::new();
+        let mut all = Vec::new();
+        for _ in 0..200 {
+            let x = (rng.gen::<f64>() * 16.0).floor(); // duplicate-heavy
+            s.push(x);
+            all.push(x);
+            assert_eq!(s.median(), median(&all));
+            assert_eq!(s.quantile(0.9), quantile(&all, 0.9));
+        }
+        let mut expect = all.clone();
+        expect.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        assert_eq!(s.sorted_values(), &expect[..]);
+        assert_eq!(s.values(), &all[..]);
     }
 
     #[test]

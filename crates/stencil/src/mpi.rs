@@ -132,8 +132,13 @@ pub fn run_mpi_stencil(
                     interior_done[r] = t_border + rest;
                 }
                 let res = resolve_exchange(params, placement, &msgs, &mut net, &mut rng);
-                for r in 0..p {
-                    t[r] = interior_done[r].max(res.last_in[r]);
+                // The closing waitall covers the send requests too — the
+                // next iteration reuses the border buffers — so an
+                // iteration ends no earlier than the process' own send
+                // tails (`last_out`), its inbound borders, and its
+                // interior compute.
+                for (r, tr) in t.iter_mut().enumerate() {
+                    *tr = interior_done[r].max(res.last_in[r]).max(res.last_out[r]);
                 }
             }
         }
@@ -160,7 +165,6 @@ fn exchange_stage(
     rng: &mut rand::rngs::StdRng,
     north_south: bool,
 ) {
-    let p = placement.nprocs();
     let mut msgs = Vec::new();
     for (r, &tr) in t.iter().enumerate() {
         let nb = decomp.neighbours(r);
@@ -189,12 +193,8 @@ fn exchange_stage(
     let res = resolve_exchange(params, placement, &msgs, net, rng);
     // Blocking semantics: a process leaves the stage when its inbound
     // borders are in and its own sends have left the CPU.
-    let mut send_done = vec![0.0f64; p];
-    for (k, m) in msgs.iter().enumerate() {
-        send_done[m.src] = send_done[m.src].max(res.send_done[k]);
-    }
-    for r in 0..p {
-        t[r] = t[r].max(res.last_in[r]).max(send_done[r]);
+    for (r, tr) in t.iter_mut().enumerate() {
+        *tr = tr.max(res.last_in[r]).max(res.last_out[r]);
     }
 }
 

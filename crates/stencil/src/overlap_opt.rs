@@ -194,8 +194,11 @@ pub fn measure_ghost_width(
             Some(pat) => sim.run_once(pat, &payload, &compute_done, &mut net, &mut rng),
             None => compute_done.clone(),
         };
-        for r in 0..p {
-            t[r] = exits[r].max(res.last_in[r]);
+        // A process leaves the superstep once the barrier released it,
+        // its inbound bands landed, and its own sends' o_send tails have
+        // released the CPU (same accounting as the BSPlib sync).
+        for (r, tr) in t.iter_mut().enumerate() {
+            *tr = exits[r].max(res.last_in[r]).max(res.last_out[r]);
         }
     }
     let total = t.iter().copied().fold(f64::NEG_INFINITY, f64::max);

@@ -14,6 +14,7 @@ pub use hpm_bsplib as bsplib;
 pub use hpm_collectives as collectives;
 pub use hpm_core as model;
 pub use hpm_kernels as kernels;
+pub use hpm_par as par;
 pub use hpm_simnet as simnet;
 pub use hpm_stats as stats;
 pub use hpm_stencil as stencil;

@@ -1,0 +1,163 @@
+//! PR 3 acceptance tests: the parallel experiment engine must be
+//! invisible in the numbers, and the BSPlib sync must account for
+//! sender-side completion.
+//!
+//! The first test drives whole experiments end-to-end — microbenchmark,
+//! barrier executor, sweep, CSV writer — at several thread counts and
+//! compares the produced files *byte for byte*. The property test then
+//! checks the headline-bugfix invariant on randomized communication
+//! programs: no process completes a superstep's sync before its own send
+//! tails, its inbound data, its barrier exit, or its compute end.
+
+use hpm::bsplib::runtime::{BspConfig, SuperstepTrace, SyncPattern};
+use hpm::bsplib::{run_spmd, BspCtx, BspProgram, RegHandle, StepOutcome};
+use hpm::kernels::rate::xeon_core;
+use hpm::simnet::params::xeon_cluster_params;
+use hpm::topology::{cluster_8x2x4, Placement, PlacementPolicy};
+use hpm_bench::experiments::{run_experiment, Effort};
+use proptest::prelude::*;
+
+/// Runs the given experiments at quick effort into a throwaway directory
+/// and returns every produced file as `(name, bytes)`.
+fn run_all(ids: &[&str], threads: usize, tag: &str) -> Vec<(String, Vec<u8>)> {
+    let dir = std::env::temp_dir().join(format!("hpm-par-det-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut files = Vec::new();
+    hpm::par::with_threads(Some(threads), || {
+        for id in ids {
+            for path in run_experiment(id, &dir, &Effort::quick()).expect("known experiment id") {
+                let name = path
+                    .file_name()
+                    .expect("file name")
+                    .to_string_lossy()
+                    .into_owned();
+                files.push((name, std::fs::read(&path).expect("read artifact")));
+            }
+        }
+    });
+    std::fs::remove_dir_all(&dir).ok();
+    files
+}
+
+/// Parallel sweeps must produce byte-identical CSV output to serial ones
+/// at every thread count: every sweep point derives its RNG streams from
+/// the seed and its own coordinates, so the schedule cannot leak in.
+#[test]
+fn experiment_csv_bytes_identical_across_thread_counts() {
+    // Simulated (host-clock-free) experiments covering the three ported
+    // layers: the microbenchmark + barrier sweep (fig5_6), the BSPlib
+    // sync sweep (fig6_3), and the collective sweep's nested fan-out.
+    let ids = ["fig5_6", "fig6_3", "collectives"];
+    let serial = run_all(&ids, 1, "t1");
+    assert!(!serial.is_empty());
+    let hw = std::thread::available_parallelism().map_or(4, |n| n.get());
+    for threads in [2, 3, hw.max(2)] {
+        let par = run_all(&ids, threads, &format!("t{threads}"));
+        assert_eq!(serial.len(), par.len(), "threads={threads}");
+        for ((sn, sb), (pn, pb)) in serial.iter().zip(par.iter()) {
+            assert_eq!(sn, pn, "threads={threads}");
+            assert_eq!(sb, pb, "threads={threads}: {sn} differs from serial run");
+        }
+    }
+}
+
+/// A randomized chatter program: every process computes for a
+/// pid-dependent time, then commits a mix of puts, hp-puts and BSMP
+/// sends to its next `fan` neighbours, twice, then halts.
+struct Chatter {
+    step: usize,
+    buf: Option<RegHandle>,
+    bytes: usize,
+    fan: usize,
+}
+
+impl BspProgram for Chatter {
+    fn superstep(&mut self, ctx: &mut BspCtx) -> StepOutcome {
+        match self.step {
+            0 => {
+                let h = ctx.alloc(self.bytes);
+                ctx.push_reg(h);
+                self.buf = Some(h);
+                self.step = 1;
+                StepOutcome::Continue
+            }
+            1 | 2 => {
+                let p = ctx.nprocs();
+                let me = ctx.pid();
+                // Skewed compute ends make the late senders' tails land
+                // inside other processes' sync windows.
+                ctx.elapse(1e-6 * ((me * 7919 + self.step * 131) % 13) as f64);
+                let data = vec![me as u8; self.bytes];
+                let buf = self.buf.expect("allocated");
+                for k in 1..=self.fan.min(p - 1) {
+                    let dst = (me + k) % p;
+                    if k % 2 == 0 {
+                        ctx.hpput(dst, buf, 0, &data);
+                    } else {
+                        ctx.put(dst, buf, 0, &data);
+                    }
+                }
+                ctx.send((me + 1) % p, &[], &data);
+                self.step += 1;
+                StepOutcome::Continue
+            }
+            _ => StepOutcome::Halt,
+        }
+    }
+}
+
+/// The per-trace completion invariant the headline bugfix establishes.
+fn assert_completion_covers(tr: &SuperstepTrace, ctxt: &str) {
+    for i in 0..tr.completion.len() {
+        // `send_complete` is the max of the process' messages'
+        // `send_done` and `recv_complete` the max of its inbound
+        // `processed` (each floored at compute end), so completion
+        // covering both covers every individual message.
+        assert!(
+            tr.completion[i] >= tr.send_complete[i],
+            "{ctxt} pid {i}: completion {} < send tail {}",
+            tr.completion[i],
+            tr.send_complete[i]
+        );
+        assert!(tr.completion[i] >= tr.recv_complete[i], "{ctxt} pid {i}");
+        assert!(tr.completion[i] >= tr.sync_exit[i], "{ctxt} pid {i}");
+        assert!(tr.completion[i] >= tr.compute_end[i], "{ctxt} pid {i}");
+        assert!(tr.send_complete[i] >= tr.compute_end[i], "{ctxt} pid {i}");
+        assert!(tr.recv_complete[i] >= tr.compute_end[i], "{ctxt} pid {i}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `run_spmd` never lets a process complete a sync before its own
+    /// issued transfers' sender-side cost and its inbound data have
+    /// elapsed — for random process counts, payload sizes, fan-outs,
+    /// seeds and sync shapes.
+    #[test]
+    fn run_spmd_completion_covers_all_tails(
+        p in 2usize..16,
+        bytes in 1usize..4096,
+        fan in 1usize..6,
+        seed in 0u64..1000,
+        shape in 0usize..3,
+    ) {
+        let mut cfg = BspConfig::new(
+            xeon_cluster_params(),
+            Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, p),
+            xeon_core(),
+            seed,
+        );
+        cfg.sync = match shape {
+            0 => SyncPattern::Dissemination,
+            1 => SyncPattern::Linear { root: p - 1 },
+            _ => SyncPattern::BinaryTree,
+        };
+        let res = run_spmd(&cfg, |_| Chatter { step: 0, buf: None, bytes, fan })
+            .expect("run succeeds");
+        prop_assert_eq!(res.superstep_count(), 4);
+        for (k, tr) in res.supersteps.iter().enumerate() {
+            assert_completion_covers(tr, &format!("p={p} seed={seed} shape={shape} step {k}"));
+        }
+    }
+}
