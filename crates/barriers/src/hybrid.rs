@@ -249,8 +249,8 @@ mod tests {
         let groups = vec![vec![0, 2, 4], vec![1, 3, 5]];
         let b = flat_dissemination_hybrid(6, &groups);
         // Stage 0: members signal reps 0 and 1.
-        assert_eq!(b.stage(0).srcs(0), vec![2, 4]);
-        assert_eq!(b.stage(0).srcs(1), vec![3, 5]);
+        assert_eq!(b.stage(0).srcs(0).collect::<Vec<_>>(), vec![2, 4]);
+        assert_eq!(b.stage(0).srcs(1).collect::<Vec<_>>(), vec![3, 5]);
     }
 
     #[test]

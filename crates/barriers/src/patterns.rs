@@ -140,7 +140,7 @@ mod tests {
     fn linear_with_nonzero_root() {
         let b = linear(5, 3);
         assert!(verify_synchronizes(&b).synchronizes());
-        assert_eq!(b.stage(0).srcs(3), vec![0, 1, 2, 4]);
+        assert_eq!(b.stage(0).srcs(3).collect::<Vec<_>>(), vec![0, 1, 2, 4]);
     }
 
     #[test]
@@ -181,7 +181,7 @@ mod tests {
         let b = dissemination(12);
         for s in 0..b.stages() {
             for i in 0..12 {
-                assert_eq!(b.stage(s).dsts(i).len(), 1, "stage {s} proc {i}");
+                assert_eq!(b.stage(s).out_degree(i), 1, "stage {s} proc {i}");
             }
         }
     }

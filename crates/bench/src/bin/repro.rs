@@ -79,7 +79,7 @@ fn main() {
         ids = registry().iter().map(|(id, _, _)| id.to_string()).collect();
     }
     let t0 = std::time::Instant::now();
-    let mut timings: Vec<(String, f64, usize)> = Vec::new();
+    let mut timings: Vec<Timing> = Vec::new();
     for id in &ids {
         let start = std::time::Instant::now();
         match run_experiment(id, &out_dir, &effort) {
@@ -88,7 +88,12 @@ fn main() {
                 for p in &paths {
                     println!("[{id}] wrote {} ({secs:.1}s)", p.display());
                 }
-                timings.push((id.clone(), secs, paths.len()));
+                timings.push(Timing {
+                    id: id.clone(),
+                    secs,
+                    files: paths.len(),
+                    items: count_items(&paths),
+                });
             }
             None => {
                 eprintln!("unknown experiment id: {id} (try `repro list`)");
@@ -104,19 +109,44 @@ fn main() {
     println!("done: {} experiments in {total:.1}s", ids.len());
 }
 
+/// One experiment's timing record for the JSON report.
+struct Timing {
+    id: String,
+    secs: f64,
+    files: usize,
+    items: usize,
+}
+
+/// Result items an experiment produced: data rows across its CSV
+/// artifacts (header excluded). `items / seconds` is the experiment's
+/// sweep throughput, the derivable ops/sec the perf trajectory tracks.
+fn count_items(paths: &[std::path::PathBuf]) -> usize {
+    paths
+        .iter()
+        .filter(|p| p.extension().is_some_and(|e| e == "csv"))
+        .map(|p| {
+            std::fs::read_to_string(p)
+                .map(|s| s.lines().count().saturating_sub(1))
+                .unwrap_or(0)
+        })
+        .sum()
+}
+
 /// Emits the machine-readable timing report CI archives as
-/// `BENCH_repro.json`: wall-clock per experiment plus the fan-out width,
-/// so the perf trajectory can track sweep throughput across commits.
-fn write_json(path: &PathBuf, effort: &str, total: f64, timings: &[(String, f64, usize)]) {
+/// `BENCH_repro.json`: wall-clock and result-item count per experiment
+/// plus the fan-out width, so the perf trajectory can track sweep
+/// throughput (items/sec) across commits.
+fn write_json(path: &PathBuf, effort: &str, total: f64, timings: &[Timing]) {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"threads\": {},\n", hpm_par::threads()));
     s.push_str(&format!("  \"effort\": \"{effort}\",\n"));
     s.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
     s.push_str("  \"experiments\": [\n");
-    for (k, (id, secs, files)) in timings.iter().enumerate() {
+    for (k, t) in timings.iter().enumerate() {
         let comma = if k + 1 < timings.len() { "," } else { "" };
         s.push_str(&format!(
-            "    {{\"id\": \"{id}\", \"seconds\": {secs:.3}, \"files\": {files}}}{comma}\n"
+            "    {{\"id\": \"{}\", \"seconds\": {:.3}, \"files\": {}, \"items\": {}}}{comma}\n",
+            t.id, t.secs, t.files, t.items
         ));
     }
     s.push_str("  ]\n}\n");

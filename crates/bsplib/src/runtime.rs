@@ -30,8 +30,8 @@ use crate::ops::{CommOp, StepOutcome, HEADER_BYTES};
 use hpm_barriers::patterns::dissemination;
 use hpm_core::predictor::PayloadSchedule;
 use hpm_kernels::rate::ProcessorModel;
-use hpm_simnet::barrier::BarrierSim;
-use hpm_simnet::exchange::{resolve_exchange, ExchangeMsg};
+use hpm_simnet::barrier::{BarrierSim, SimScratch};
+use hpm_simnet::exchange::{resolve_exchange_into, ExchangeMsg, ExchangeResult, ExchangeScratch};
 use hpm_simnet::net::NetState;
 use hpm_simnet::params::PlatformParams;
 use hpm_stats::rng::derive_rng;
@@ -222,7 +222,17 @@ pub fn run_spmd<P: BspProgram>(
     let mut clocks = vec![0.0f64; p];
     let mut rng = derive_rng(cfg.seed, 0xB5F);
     let mut net = NetState::new(&cfg.placement);
+    // The sync pattern is fixed for the whole run: compile it once into
+    // CSR form and drive every superstep's barrier over reused scratch.
     let (barrier_pattern, payload) = cfg.sync.build(p);
+    let compiled_sync = barrier_pattern.as_ref().map(|pat| {
+        use hpm_core::pattern::CommPattern;
+        pat.plan()
+    });
+    let mut sync_scratch = SimScratch::new(&cfg.placement);
+    let mut ex_scratch = ExchangeScratch::default();
+    let mut r1 = ExchangeResult::default();
+    let mut r2 = ExchangeResult::default();
     let sim = BarrierSim::new(&cfg.params, &cfg.placement);
     let mut supersteps = Vec::new();
 
@@ -303,7 +313,15 @@ pub fn run_spmd<P: BspProgram>(
                 }
             }
         }
-        let r1 = resolve_exchange(&cfg.params, &cfg.placement, &headers, &mut net, &mut rng);
+        resolve_exchange_into(
+            &cfg.params,
+            &cfg.placement,
+            &headers,
+            &mut net,
+            &mut rng,
+            &mut ex_scratch,
+            &mut r1,
+        );
         // Get replies: issued by the owner once the request is processed.
         let replies: Vec<ExchangeMsg> = header_owner_of_get
             .iter()
@@ -317,11 +335,29 @@ pub fn run_spmd<P: BspProgram>(
                 }
             })
             .collect();
-        let r2 = resolve_exchange(&cfg.params, &cfg.placement, &replies, &mut net, &mut rng);
+        resolve_exchange_into(
+            &cfg.params,
+            &cfg.placement,
+            &replies,
+            &mut net,
+            &mut rng,
+            &mut ex_scratch,
+            &mut r2,
+        );
 
         // Phase 3: synchronize.
-        let barrier_exit = match &barrier_pattern {
-            Some(pat) => sim.run_once(pat, &payload, &compute_end, &mut net, &mut rng),
+        let barrier_exit = match &compiled_sync {
+            Some(plan) => {
+                sim.run_once_compiled(
+                    plan,
+                    &payload,
+                    &compute_end,
+                    &mut net,
+                    &mut rng,
+                    &mut sync_scratch,
+                );
+                sync_scratch.exits().to_vec()
+            }
             None => compute_end.clone(),
         };
         // A process completes the sync when the barrier is done, all its

@@ -24,8 +24,8 @@
 //! [`KnowledgeTrace::satisfies`] checks them, so every pattern — barrier
 //! or collective — flows through one verifier.
 
-use crate::matrix::IMat;
 use crate::pattern::CommPattern;
+use crate::plan::{CompiledPattern, StagePlan};
 
 /// What a pattern must guarantee to be correct: which knowledge pairs must
 /// be established by its final stage.
@@ -116,9 +116,18 @@ impl KnowledgeTrace {
     }
 }
 
-/// Runs the Eq. 5.1/5.2 recurrence over any staged pattern.
+/// Runs the Eq. 5.1/5.2 recurrence over any staged pattern. Compiles the
+/// pattern and delegates to [`verify_compiled`]; callers verifying a
+/// pattern they already compiled should go there directly.
 pub fn verify_synchronizes<P: CommPattern + ?Sized>(pattern: &P) -> KnowledgeTrace {
-    let p = pattern.p();
+    verify_compiled(&pattern.plan())
+}
+
+/// The Eq. 5.1/5.2 recurrence over an already-compiled pattern: the
+/// signal enumeration of every stage reads CSR slices instead of scanning
+/// dense rows.
+pub fn verify_compiled(plan: &CompiledPattern) -> KnowledgeTrace {
+    let p = plan.p();
     let mut counts = vec![0u64; p * p];
     let mut first_known = vec![usize::MAX; p * p];
     // K = I.
@@ -126,15 +135,16 @@ pub fn verify_synchronizes<P: CommPattern + ?Sized>(pattern: &P) -> KnowledgeTra
         counts[i * p + i] = 1;
         first_known[i * p + i] = 0;
     }
-    for stage_idx in 0..pattern.stages() {
+    let mut snapshot = vec![0u64; p * p];
+    for stage_idx in 0..plan.stages() {
         // K ← K + K × S. In index form: when i signals j in this stage,
         // everything i knows flows to j: add(j, *) += K(i, *).
-        let snapshot = counts.clone();
+        snapshot.copy_from_slice(&counts);
         apply_stage(
             &snapshot,
             &mut counts,
             &mut first_known,
-            pattern.stage(stage_idx),
+            plan.stage(stage_idx),
             stage_idx,
         );
     }
@@ -154,14 +164,14 @@ fn apply_stage(
     snapshot: &[u64],
     counts: &mut [u64],
     first_known: &mut [usize],
-    stage: &IMat,
+    stage: &StagePlan,
     stage_idx: usize,
 ) {
-    let p = stage.n();
+    let p = stage.p();
     for i in 0..p {
-        for j in stage.dsts(i) {
-            for k in 0..p {
-                let add = snapshot[i * p + k];
+        let src_row = &snapshot[i * p..(i + 1) * p];
+        for &j in stage.dsts(i) {
+            for (k, &add) in src_row.iter().enumerate() {
                 if add > 0 {
                     let cell = j * p + k;
                     counts[cell] = counts[cell].saturating_add(add);

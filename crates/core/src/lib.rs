@@ -23,6 +23,10 @@
 //!   incidence matrices (§5.5, Figs. 5.2–5.4): the shared
 //!   [`pattern::CommPattern`] abstraction plus the barrier-shaped
 //!   [`pattern::BarrierPattern`].
+//! * [`plan`] — the flat execution form: CSR stage adjacency
+//!   ([`plan::StagePlan`]) and whole patterns compiled once
+//!   ([`plan::CompiledPattern`]) for allocation-free hot loops in the
+//!   predictor, verifier and simulator.
 //! * [`knowledge`] — the knowledge-matrix correctness test
 //!   `K_i = K_{i−1} + K_{i−1}·S_i` (Eqs. 5.1–5.2), generalized to rooted
 //!   and prefix knowledge goals for collective operations.
@@ -38,14 +42,20 @@ pub mod hockney;
 pub mod knowledge;
 pub mod matrix;
 pub mod pattern;
+pub mod plan;
 pub mod predictor;
 pub mod superstep;
 
 pub use classic::ClassicBsp;
 pub use compute::{cross_mapping_costs, imbalance, superstep_times};
 pub use hockney::{comm_times, HeteroHockney, Hockney};
-pub use knowledge::{verify_goal, verify_synchronizes, KnowledgeGoal, KnowledgeTrace};
+pub use knowledge::{
+    verify_compiled, verify_goal, verify_synchronizes, KnowledgeGoal, KnowledgeTrace,
+};
 pub use matrix::{DMat, IMat};
 pub use pattern::{BarrierPattern, CommPattern};
-pub use predictor::{predict_barrier, BarrierPrediction, CommCosts, PayloadSchedule};
+pub use plan::{CompiledPattern, StagePlan};
+pub use predictor::{
+    predict_barrier, predict_compiled, BarrierPrediction, CommCosts, PayloadSchedule,
+};
 pub use superstep::{overlap_estimate, SuperstepModel};

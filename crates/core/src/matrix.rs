@@ -198,10 +198,18 @@ impl std::fmt::Display for DMat {
 
 /// A square boolean incidence matrix encoding one stage of a communication
 /// pattern: `get(i, j)` means "process i signals process j" (§5.5).
+///
+/// Per-row out-degrees, per-column in-degrees and the total edge count are
+/// maintained on insertion, so emptiness and degree queries — the tests
+/// the predictor's posted-receive refinement and `last_send_stage` run in
+/// their inner loops — are O(1) and never allocate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IMat {
     n: usize,
     data: Vec<bool>,
+    out_deg: Vec<u32>,
+    in_deg: Vec<u32>,
+    edges: usize,
 }
 
 impl IMat {
@@ -211,6 +219,9 @@ impl IMat {
         IMat {
             n,
             data: vec![false; n * n],
+            out_deg: vec![0; n],
+            in_deg: vec![0; n],
+            edges: 0,
         }
     }
 
@@ -242,22 +253,45 @@ impl IMat {
             i, j,
             "self-signal ({i},{i}) is meaningless in a barrier stage"
         );
-        self.data[i * self.n + j] = true;
+        let cell = &mut self.data[i * self.n + j];
+        if !*cell {
+            *cell = true;
+            self.out_deg[i] += 1;
+            self.in_deg[j] += 1;
+            self.edges += 1;
+        }
     }
 
-    /// Destinations signalled by `i`, ascending.
-    pub fn dsts(&self, i: usize) -> Vec<usize> {
-        (0..self.n).filter(|&j| self.get(i, j)).collect()
+    /// Destinations signalled by `i`, ascending. Allocation-free: iterate
+    /// directly, or go through [`crate::plan::StagePlan`] for repeated
+    /// slice access on a hot path.
+    pub fn dsts(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        assert!(i < self.n, "row {i} out of range");
+        self.data[i * self.n..(i + 1) * self.n]
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &set)| set.then_some(j))
     }
 
-    /// Sources signalling `j`, ascending.
-    pub fn srcs(&self, j: usize) -> Vec<usize> {
-        (0..self.n).filter(|&i| self.get(i, j)).collect()
+    /// Sources signalling `j`, ascending. Allocation-free.
+    pub fn srcs(&self, j: usize) -> impl Iterator<Item = usize> + '_ {
+        assert!(j < self.n, "column {j} out of range");
+        (0..self.n).filter(move |&i| self.data[i * self.n + j])
     }
 
-    /// Total edge count.
+    /// Number of destinations `i` signals — O(1), maintained on insert.
+    pub fn out_degree(&self, i: usize) -> usize {
+        self.out_deg[i] as usize
+    }
+
+    /// Number of sources signalling `j` — O(1), maintained on insert.
+    pub fn in_degree(&self, j: usize) -> usize {
+        self.in_deg[j] as usize
+    }
+
+    /// Total edge count — O(1), maintained on insert.
     pub fn edge_count(&self) -> usize {
-        self.data.iter().filter(|&&b| b).count()
+        self.edges
     }
 
     /// Transpose — the release stages of hierarchical barriers are the
@@ -265,10 +299,8 @@ impl IMat {
     pub fn transpose(&self) -> IMat {
         let mut t = IMat::empty(self.n);
         for i in 0..self.n {
-            for j in 0..self.n {
-                if self.get(i, j) {
-                    t.data[j * self.n + i] = true;
-                }
+            for j in self.dsts(i) {
+                t.insert(j, i);
             }
         }
         t
@@ -365,9 +397,35 @@ mod tests {
     fn imat_edges_and_degrees() {
         let m = IMat::from_edges(4, &[(1, 0), (2, 0), (3, 0)]);
         assert_eq!(m.edge_count(), 3);
-        assert_eq!(m.srcs(0), vec![1, 2, 3]);
-        assert_eq!(m.dsts(1), vec![0]);
-        assert!(m.dsts(0).is_empty());
+        assert_eq!(m.srcs(0).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(m.dsts(1).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(m.dsts(0).count(), 0);
+        assert_eq!(m.in_degree(0), 3);
+        assert_eq!(m.out_degree(0), 0);
+        assert_eq!(m.out_degree(1), 1);
+        assert_eq!(m.in_degree(1), 0);
+    }
+
+    #[test]
+    fn imat_duplicate_insert_counted_once() {
+        let mut m = IMat::empty(3);
+        m.insert(0, 1);
+        m.insert(0, 1);
+        assert_eq!(m.edge_count(), 1);
+        assert_eq!(m.out_degree(0), 1);
+        assert_eq!(m.in_degree(1), 1);
+        assert_eq!(m, IMat::from_edges(3, &[(0, 1)]));
+    }
+
+    #[test]
+    fn imat_transpose_swaps_degrees() {
+        let m = IMat::from_edges(5, &[(0, 1), (0, 2), (3, 2), (4, 0)]);
+        let t = m.transpose();
+        for r in 0..5 {
+            assert_eq!(m.out_degree(r), t.in_degree(r), "rank {r}");
+            assert_eq!(m.in_degree(r), t.out_degree(r), "rank {r}");
+        }
+        assert_eq!(t.edge_count(), m.edge_count());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! operations of `hpm-collectives` provide another.
 
 use crate::matrix::IMat;
+use crate::plan::CompiledPattern;
 
 /// A staged communication pattern: a sequence of `P×P` incidence matrices.
 ///
@@ -46,11 +47,21 @@ pub trait CommPattern {
 
     /// The last stage index before `before` in which `i` transmitted a
     /// signal, if any — used by the predictor's posted-receive refinement
-    /// (§5.6.5).
+    /// (§5.6.5). O(1) per stage on the maintained degree counts (and
+    /// O(1) overall on a [`CompiledPattern`], which precomputes the whole
+    /// table).
     fn last_send_stage(&self, i: usize, before: usize) -> Option<usize> {
         (0..before.min(self.stages()))
             .rev()
-            .find(|&k| !self.stage(k).dsts(i).is_empty())
+            .find(|&k| self.stage(k).out_degree(i) > 0)
+    }
+
+    /// Compiles the pattern into its flat execution form — CSR stage
+    /// adjacency plus the precomputed §5.6.5 tables. Build once, then
+    /// hand the result to the predictor, verifier and simulator hot
+    /// paths.
+    fn plan(&self) -> CompiledPattern {
+        CompiledPattern::compile(self)
     }
 
     /// Renders all stages in the layout of Figs. 5.2–5.4.
@@ -146,8 +157,8 @@ mod tests {
         let b = linear4();
         assert_eq!(b.stages(), 2);
         assert_eq!(b.total_signals(), 6);
-        assert_eq!(b.stage(0).srcs(0), vec![1, 2, 3]);
-        assert_eq!(b.stage(1).dsts(0), vec![1, 2, 3]);
+        assert_eq!(b.stage(0).srcs(0).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(b.stage(1).dsts(0).collect::<Vec<_>>(), vec![1, 2, 3]);
     }
 
     #[test]

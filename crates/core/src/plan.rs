@@ -1,0 +1,307 @@
+//! The flat, compiled form of a staged pattern: CSR adjacency, compiled
+//! once, executed allocation-free.
+//!
+//! The dense [`IMat`] encoding is the right *authoring* form — the §5.5
+//! algebra (transpose, knowledge products, rendering) is clearest on
+//! dense boolean matrices — but it is the wrong *execution* form: every
+//! hot loop of this workspace (the Eq. 5.4 predictor, the knowledge
+//! recurrence, the Fig. 5.5 staged executor) walks "the destinations of
+//! rank i in stage s", which on a dense row is an O(P) scan, and the old
+//! `IMat::dsts` API returned a freshly allocated `Vec` per query — one
+//! allocation per rank per stage per repetition.
+//!
+//! [`StagePlan`] is one stage in compressed sparse row form (flat index
+//! arrays plus offsets, both directions), and [`CompiledPattern`] is a
+//! whole pattern compiled stage by stage, together with the derived
+//! tables the predictor needs: per-rank last-transmission stages and the
+//! §5.6.5 posted-receiver booleans. Compile once per pattern (via
+//! [`crate::pattern::CommPattern::plan`]), then every enumeration is a
+//! slice borrow and every posted test an indexed load.
+//!
+//! The compiled form is a pure view: it enumerates exactly the edges of
+//! the dense stages, in the same ascending order, so executors switching
+//! to it reproduce their dense-path results bit for bit (the RNG draw
+//! order of the simulator is part of that contract — see DESIGN.md).
+
+use crate::matrix::IMat;
+use crate::pattern::CommPattern;
+
+/// One stage of a pattern in compressed sparse row form, both directions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagePlan {
+    p: usize,
+    /// Destination lists of all ranks, concatenated in rank order.
+    dsts: Vec<usize>,
+    /// `dsts_off[i]..dsts_off[i+1]` delimits rank i's destinations.
+    dsts_off: Vec<usize>,
+    /// Source lists of all ranks, concatenated in rank order.
+    srcs: Vec<usize>,
+    /// `srcs_off[j]..srcs_off[j+1]` delimits rank j's sources.
+    srcs_off: Vec<usize>,
+}
+
+impl StagePlan {
+    /// Compiles one dense incidence matrix into CSR form: one dense row
+    /// scan per rank (O(P²) total), with the source lists filled by
+    /// counting placement from the same pass — ascending `i` keeps every
+    /// rank's source span sorted.
+    pub fn from_imat(m: &IMat) -> StagePlan {
+        let p = m.n();
+        let edges = m.edge_count();
+        let mut dsts = Vec::with_capacity(edges);
+        let mut dsts_off = Vec::with_capacity(p + 1);
+        dsts_off.push(0);
+        let mut srcs_off = Vec::with_capacity(p + 1);
+        srcs_off.push(0);
+        for j in 0..p {
+            srcs_off.push(srcs_off[j] + m.in_degree(j));
+        }
+        let mut srcs = vec![0usize; edges];
+        let mut cursor = srcs_off[..p].to_vec();
+        for i in 0..p {
+            for j in m.dsts(i) {
+                dsts.push(j);
+                srcs[cursor[j]] = i;
+                cursor[j] += 1;
+            }
+            dsts_off.push(dsts.len());
+        }
+        StagePlan {
+            p,
+            dsts,
+            dsts_off,
+            srcs,
+            srcs_off,
+        }
+    }
+
+    /// Process count.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Destinations signalled by `i`, ascending — a borrowed slice.
+    pub fn dsts(&self, i: usize) -> &[usize] {
+        &self.dsts[self.dsts_off[i]..self.dsts_off[i + 1]]
+    }
+
+    /// Sources signalling `j`, ascending — a borrowed slice.
+    pub fn srcs(&self, j: usize) -> &[usize] {
+        &self.srcs[self.srcs_off[j]..self.srcs_off[j + 1]]
+    }
+
+    /// Number of destinations `i` signals.
+    pub fn out_degree(&self, i: usize) -> usize {
+        self.dsts_off[i + 1] - self.dsts_off[i]
+    }
+
+    /// Number of sources signalling `j`.
+    pub fn in_degree(&self, j: usize) -> usize {
+        self.srcs_off[j + 1] - self.srcs_off[j]
+    }
+
+    /// Total edge count.
+    pub fn edge_count(&self) -> usize {
+        self.dsts.len()
+    }
+}
+
+/// A staged pattern compiled for flat execution: per-stage CSR adjacency
+/// plus the derived tables of the §5.6.5 predictor refinements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPattern {
+    name: String,
+    p: usize,
+    stages: Vec<StagePlan>,
+    /// `posted[s * p + j]`: true when rank j is known to be awaiting
+    /// signals at stage s (its last transmission, if any, ended at least
+    /// two stages earlier) — refinement 2 of §5.6.5, precomputed.
+    posted: Vec<bool>,
+    /// `last_send[s * p + i]`: last stage index `< s` in which rank i
+    /// transmitted, or `usize::MAX` when it had not yet. Row `s == 0` is
+    /// all-MAX; the table has `stages + 1` rows so the final row answers
+    /// "before the end of the pattern".
+    last_send: Vec<usize>,
+}
+
+impl CompiledPattern {
+    /// Compiles any staged pattern: one dense row scan per rank per
+    /// stage (O(P² · stages)) plus O(P · stages) for the derived tables.
+    /// Compilation is the cold half of compile-then-execute — done once
+    /// per pattern, off the repetition hot path.
+    pub fn compile<P: CommPattern + ?Sized>(pattern: &P) -> CompiledPattern {
+        let p = pattern.p();
+        let n_stages = pattern.stages();
+        let stages: Vec<StagePlan> = (0..n_stages)
+            .map(|s| {
+                let m = pattern.stage(s);
+                assert_eq!(m.n(), p, "stage {s} has wrong dimension");
+                StagePlan::from_imat(m)
+            })
+            .collect();
+        let mut posted = vec![false; n_stages * p];
+        let mut last_send = vec![usize::MAX; (n_stages + 1) * p];
+        for s in 0..n_stages {
+            for i in 0..p {
+                let prev = last_send[s * p + i];
+                // Posted iff the rank's last transmission (if any) ended
+                // at least two stages ago; at stage 0 nothing is posted.
+                posted[s * p + i] = s > 0 && (prev == usize::MAX || prev + 1 < s);
+                last_send[(s + 1) * p + i] = if stages[s].out_degree(i) > 0 { s } else { prev };
+            }
+        }
+        CompiledPattern {
+            name: pattern.name().to_string(),
+            p,
+            stages,
+            posted,
+            last_send,
+        }
+    }
+
+    /// Descriptive name inherited from the source pattern.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Process count.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Borrow one compiled stage.
+    pub fn stage(&self, k: usize) -> &StagePlan {
+        &self.stages[k]
+    }
+
+    /// Total signal count across all stages.
+    pub fn total_signals(&self) -> usize {
+        self.stages.iter().map(StagePlan::edge_count).sum()
+    }
+
+    /// True when rank `j` is known to be awaiting signals at stage `s` —
+    /// the §5.6.5 posted-receiver refinement, as one indexed load.
+    pub fn is_posted(&self, j: usize, s: usize) -> bool {
+        self.posted[s * self.p + j]
+    }
+
+    /// The last stage index before `before` in which `i` transmitted, if
+    /// any — the precomputed equivalent of
+    /// [`CommPattern::last_send_stage`]. O(1).
+    pub fn last_send_stage(&self, i: usize, before: usize) -> Option<usize> {
+        let row = before.min(self.stages.len());
+        let s = self.last_send[row * self.p + i];
+        (s != usize::MAX).then_some(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::IMat;
+    use crate::pattern::BarrierPattern;
+
+    fn dissemination(p: usize) -> BarrierPattern {
+        let stages = crate::pattern::log2_ceil(p);
+        let mats = (0..stages)
+            .map(|s| {
+                let edges: Vec<(usize, usize)> = (0..p).map(|i| (i, (i + (1 << s)) % p)).collect();
+                IMat::from_edges(p, &edges)
+            })
+            .collect();
+        BarrierPattern::new("dissemination", p, mats)
+    }
+
+    #[test]
+    fn csr_matches_dense_enumeration() {
+        let pat = dissemination(13);
+        let plan = CompiledPattern::compile(&pat);
+        assert_eq!(plan.p(), 13);
+        assert_eq!(plan.stages(), pat.stages());
+        assert_eq!(plan.total_signals(), pat.total_signals());
+        for s in 0..pat.stages() {
+            let dense = pat.stage(s);
+            let flat = plan.stage(s);
+            assert_eq!(flat.edge_count(), dense.edge_count());
+            for r in 0..13 {
+                assert_eq!(flat.dsts(r), dense.dsts(r).collect::<Vec<_>>(), "stage {s}");
+                assert_eq!(flat.srcs(r), dense.srcs(r).collect::<Vec<_>>(), "stage {s}");
+                assert_eq!(flat.out_degree(r), dense.out_degree(r));
+                assert_eq!(flat.in_degree(r), dense.in_degree(r));
+            }
+        }
+    }
+
+    #[test]
+    fn last_send_table_matches_trait_scan() {
+        use crate::pattern::CommPattern;
+        let s0 = IMat::from_edges(4, &[(1, 0), (2, 0), (3, 0)]);
+        let s1 = IMat::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let pat = BarrierPattern::new("linear", 4, vec![s0, s1]);
+        let plan = pat.plan();
+        for i in 0..4 {
+            for before in 0..=3 {
+                assert_eq!(
+                    plan.last_send_stage(i, before),
+                    pat.last_send_stage(i, before),
+                    "rank {i} before {before}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn posted_table_matches_definition() {
+        // 3-stage pattern from the predictor's posted-receive test:
+        // 1 → 0, then 2 → 1, then 1 → 0 again.
+        let p = 3;
+        let s0 = IMat::from_edges(p, &[(1, 0)]);
+        let s1 = IMat::from_edges(p, &[(2, 1)]);
+        let s2 = IMat::from_edges(p, &[(1, 0)]);
+        let pat = BarrierPattern::new("posted", p, vec![s0, s1, s2]);
+        let plan = CompiledPattern::compile(&pat);
+        // Stage 0: nothing posted yet.
+        for j in 0..p {
+            assert!(!plan.is_posted(j, 0));
+        }
+        // Stage 1: rank 0 never sent → posted; rank 1 sent in stage 0 →
+        // not posted; rank 2 never sent → posted.
+        assert!(plan.is_posted(0, 1));
+        assert!(!plan.is_posted(1, 1));
+        assert!(plan.is_posted(2, 1));
+        // Stage 2: rank 0 idle since before stage 1 → posted; rank 1
+        // last sent stage 0 (0 + 1 < 2) → posted; rank 2 sent stage 1 →
+        // not posted.
+        assert!(plan.is_posted(0, 2));
+        assert!(plan.is_posted(1, 2));
+        assert!(!plan.is_posted(2, 2));
+    }
+
+    #[test]
+    fn zero_stage_pattern_compiles() {
+        struct Degenerate;
+        impl CommPattern for Degenerate {
+            fn name(&self) -> &str {
+                "degenerate"
+            }
+            fn p(&self) -> usize {
+                1
+            }
+            fn stages(&self) -> usize {
+                0
+            }
+            fn stage(&self, _: usize) -> &IMat {
+                unreachable!("no stages")
+            }
+        }
+        let plan = CompiledPattern::compile(&Degenerate);
+        assert_eq!(plan.stages(), 0);
+        assert_eq!(plan.total_signals(), 0);
+        assert_eq!(plan.last_send_stage(0, 0), None);
+    }
+}

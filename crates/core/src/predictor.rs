@@ -27,6 +27,7 @@
 
 use crate::matrix::DMat;
 use crate::pattern::CommPattern;
+use crate::plan::CompiledPattern;
 
 /// Benchmarked platform cost matrices (§5.6.3).
 ///
@@ -146,34 +147,22 @@ impl BarrierPrediction {
     }
 }
 
-/// True when `j` is known to be awaiting signals at stage `s`: it last
-/// transmitted at least two stages ago (or never) — refinement 2 of
-/// §5.6.5.
-fn is_posted<P: CommPattern + ?Sized>(pattern: &P, j: usize, s: usize) -> bool {
-    if s == 0 {
-        return false;
-    }
-    match pattern.last_send_stage(j, s) {
-        None => true,
-        Some(k) => k + 1 < s,
-    }
-}
-
-/// Eq. 5.4 stage cost with payload extension and both refinements.
-fn stage_cost<P: CommPattern + ?Sized>(
-    pattern: &P,
+/// Eq. 5.4 stage cost with payload extension and both refinements, over
+/// the compiled pattern: destination slices from the CSR plan, posted
+/// receivers from the precomputed table.
+fn stage_cost(
+    plan: &CompiledPattern,
     costs: &CommCosts,
     payload: &PayloadSchedule,
     s: usize,
     i: usize,
 ) -> f64 {
-    let stage = pattern.stage(s);
     let bytes = payload.bytes(s) as f64;
     let mut latency_term = 0.0;
     let mut max_term = costs.o.get(i, i); // refinement 1: floor at O_ii
-    for j in stage.dsts(i) {
+    for &j in plan.stage(s).dsts(i) {
         latency_term += 2.0 * costs.l.get(i, j) + bytes * costs.beta.get(i, j);
-        let o = if is_posted(pattern, j, s) {
+        let o = if plan.is_posted(j, s) {
             costs.o.get(j, j) // refinement 2: posted receiver
         } else {
             costs.o.get(i, j)
@@ -190,31 +179,45 @@ fn stage_cost<P: CommPattern + ?Sized>(
 ///
 /// Works on any [`CommPattern`] — barriers and collectives alike; the name
 /// keeps the thesis' framing (the predictor was introduced for barriers,
-/// §5.6.5) while the machinery is pattern-agnostic.
+/// §5.6.5) while the machinery is pattern-agnostic. Compiles the pattern
+/// and delegates to [`predict_compiled`]; callers predicting the same
+/// pattern repeatedly (the greedy construction of Ch. 7, parameter
+/// sweeps) should compile once themselves.
 pub fn predict_barrier<P: CommPattern + ?Sized>(
     pattern: &P,
     costs: &CommCosts,
     payload: &PayloadSchedule,
 ) -> BarrierPrediction {
+    predict_compiled(&pattern.plan(), costs, payload)
+}
+
+/// [`predict_barrier`] over an already-compiled pattern: the whole
+/// forward dynamic program runs on CSR slices and O(1) posted lookups,
+/// allocating only the prediction it returns.
+pub fn predict_compiled(
+    plan: &CompiledPattern,
+    costs: &CommCosts,
+    payload: &PayloadSchedule,
+) -> BarrierPrediction {
     assert_eq!(
-        pattern.p(),
+        plan.p(),
         costs.p(),
         "pattern and cost matrices must agree on process count"
     );
-    let p = pattern.p();
-    let stages = pattern.stages();
+    let p = plan.p();
+    let stages = plan.stages();
     let mut entry = vec![vec![0.0f64; p]];
     let mut stage_costs = Vec::with_capacity(stages);
     for s in 0..stages {
         let costs_s: Vec<f64> = (0..p)
-            .map(|i| stage_cost(pattern, costs, payload, s, i))
+            .map(|i| stage_cost(plan, costs, payload, s, i))
             .collect();
         let prev = entry.last().expect("entry starts non-empty").clone();
         let mut next: Vec<f64> = (0..p).map(|j| prev[j] + costs_s[j]).collect();
-        let stage = pattern.stage(s);
+        let stage = plan.stage(s);
         for i in 0..p {
             let done = prev[i] + costs_s[i];
-            for j in stage.dsts(i) {
+            for &j in stage.dsts(i) {
                 if done > next[j] {
                     next[j] = done;
                 }
@@ -406,5 +409,22 @@ mod tests {
     fn mismatched_process_count_rejected() {
         let costs = CommCosts::uniform(4, 0.0, 0.0, 1e-6);
         predict_barrier(&linear(8), &costs, &PayloadSchedule::none());
+    }
+
+    /// A plan compiled once and reused across cost matrices yields the
+    /// exact numbers the per-call compiling entry point produces.
+    #[test]
+    fn reused_plan_matches_fresh_compilation() {
+        let pat = dissemination(24);
+        let plan = pat.plan();
+        for seed in 0..4u64 {
+            let o = 1e-7 * (seed + 1) as f64;
+            let costs = CommCosts::uniform(24, o, 5.0 * o, 1e-6);
+            let fresh = predict_barrier(&pat, &costs, &PayloadSchedule::none());
+            let reused = predict_compiled(&plan, &costs, &PayloadSchedule::none());
+            assert_eq!(fresh.total, reused.total);
+            assert_eq!(fresh.entry, reused.entry);
+            assert_eq!(fresh.stage_cost, reused.stage_cost);
+        }
     }
 }

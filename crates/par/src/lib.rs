@@ -85,12 +85,39 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
+    par_map_indexed_with(n, || (), |(), k| f(k))
+}
+
+/// [`par_map_indexed`] with worker-local scratch state: `init` runs once
+/// per worker (once total on the serial path) and the resulting value is
+/// handed mutably to every item that worker processes.
+///
+/// This is the allocation-amortization hook of the measurement layers: a
+/// barrier repetition needs network-queue and stage-buffer scratch, and
+/// creating it per item would put hundreds of heap allocations on the hot
+/// path. With worker-local state, scratch is built O(workers) times and
+/// reused across that worker's whole share of the items.
+///
+/// The determinism contract of [`par_map_indexed`] extends to the state:
+/// `f` must leave no information in the scratch that influences a later
+/// item's result (reset-or-overwrite before use), so results stay
+/// bit-identical to a serial run at every thread count.
+pub fn par_map_indexed_with<S, U, I, F>(n: usize, init: I, f: F) -> Vec<U>
+where
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> U + Sync,
+{
     let workers = threads().min(n);
     // Serial fast path: no items, one worker, or already inside a fan-out
     // (nested parallelism would oversubscribe without speeding anything
     // up — the outer level owns the cores).
     if workers <= 1 || ACTIVE.swap(true, Ordering::SeqCst) {
-        return (0..n).map(f).collect();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut state = init();
+        return (0..n).map(|k| f(&mut state, k)).collect();
     }
     let next = AtomicUsize::new(0);
     let mut parts: Vec<Vec<(usize, U)>> = Vec::new();
@@ -98,13 +125,14 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut state = init();
                     let mut local: Vec<(usize, U)> = Vec::new();
                     loop {
                         let k = next.fetch_add(1, Ordering::Relaxed);
                         if k >= n {
                             break;
                         }
-                        local.push((k, f(k)));
+                        local.push((k, f(&mut state, k)));
                     }
                     local
                 })
@@ -156,6 +184,54 @@ mod tests {
             let want: Vec<usize> = (0..100).map(|k| k * k).collect();
             assert_eq!(got, want, "threads={t}");
         }
+    }
+
+    /// Worker-local scratch: results match the stateless map at every
+    /// thread count when the state is overwritten before each use, and
+    /// the number of `init` calls never exceeds the worker count.
+    #[test]
+    fn worker_local_state_is_reused_not_shared() {
+        static INITS: AtomicUsize = AtomicUsize::new(0);
+        for &t in &[1usize, 2, 4, 16] {
+            INITS.store(0, Ordering::SeqCst);
+            let got = with_threads(Some(t), || {
+                par_map_indexed_with(
+                    64,
+                    || {
+                        INITS.fetch_add(1, Ordering::SeqCst);
+                        vec![0u64; 8]
+                    },
+                    |scratch, k| {
+                        // Overwrite-before-use, as the contract requires.
+                        for (i, slot) in scratch.iter_mut().enumerate() {
+                            *slot = (k * 31 + i) as u64;
+                        }
+                        scratch.iter().sum::<u64>()
+                    },
+                )
+            });
+            let want: Vec<u64> = (0..64u64)
+                .map(|k| (0..8u64).map(|i| k * 31 + i).sum())
+                .collect();
+            assert_eq!(got, want, "threads={t}");
+            let inits = INITS.load(Ordering::SeqCst);
+            assert!(inits <= t.min(64), "threads={t}: {inits} inits");
+            assert!(inits >= 1, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn with_state_empty_input_skips_init() {
+        static INITS: AtomicUsize = AtomicUsize::new(0);
+        let got: Vec<u32> = par_map_indexed_with(
+            0,
+            || {
+                INITS.fetch_add(1, Ordering::SeqCst);
+            },
+            |(), _| 0,
+        );
+        assert!(got.is_empty());
+        assert_eq!(INITS.load(Ordering::SeqCst), 0);
     }
 
     #[test]

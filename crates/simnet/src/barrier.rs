@@ -6,13 +6,21 @@
 //! overhead, issues its signal vector as serial acknowledged round trips,
 //! and leaves the stage when its own sends are acknowledged and its
 //! expected receives are processed.
+//!
+//! The executor follows the compile-then-execute split of the flat
+//! simulation core (see DESIGN.md): patterns are compiled once into
+//! [`CompiledPattern`] CSR form, and every execution runs over a caller-
+//! owned [`SimScratch`] — after warmup, [`BarrierSim::run_once_compiled`]
+//! performs zero heap allocations per repetition. The generic
+//! [`BarrierSim::run_once`]/[`BarrierSim::run_total`] wrappers keep the
+//! old one-shot API for callers off the hot path.
 
 use crate::net::NetState;
 use crate::params::PlatformParams;
 use hpm_core::pattern::CommPattern;
+use hpm_core::plan::CompiledPattern;
 use hpm_core::predictor::PayloadSchedule;
 use hpm_stats::rng::derive_rng;
-use hpm_stats::summary::Summary;
 use hpm_topology::Placement;
 use rand::rngs::StdRng;
 
@@ -27,13 +35,57 @@ impl BarrierMeasurement {
     /// Arithmetic mean of the per-run worst-case times — the statistic of
     /// Figs. 5.6/5.10 ("worst-case times were collected from 256 runs …
     /// and the arithmetic mean of these is reported").
+    ///
+    /// Computed directly from the samples slice; `hpm_stats::mean` steps
+    /// the same Welford recurrence as `Summary`, so the value is
+    /// bit-identical to the old build-a-`Summary` path without its
+    /// insertion-sorted copy.
     pub fn mean(&self) -> f64 {
-        Summary::from_slice(&self.samples).mean()
+        hpm_stats::mean(&self.samples)
     }
 
-    /// Median per-run worst-case time.
+    /// Median per-run worst-case time, computed directly from the
+    /// samples slice by quickselect.
     pub fn median(&self) -> f64 {
-        Summary::from_slice(&self.samples).median()
+        hpm_stats::quantile::median(&self.samples)
+    }
+}
+
+/// Reusable per-execution buffers of the staged executor: stage entry and
+/// exit times, library-posted times and inbound-arrival accumulators.
+///
+/// One scratch serves any pattern over its placement's process count;
+/// carry it across stages, repetitions and supersteps (the measurement
+/// loop keeps one per worker) so the executor's inner loop never touches
+/// the allocator.
+#[derive(Debug, Clone)]
+pub struct SimScratch {
+    /// Entry times of the current stage; holds the final exits after a
+    /// run ([`SimScratch::exits`]).
+    cur: Vec<f64>,
+    /// Exit times being accumulated for the current stage.
+    nxt: Vec<f64>,
+    /// Per-process library-posted times within one stage.
+    posted: Vec<f64>,
+    /// Per-process latest inbound-signal processing time within one stage.
+    last_arrival: Vec<f64>,
+}
+
+impl SimScratch {
+    /// Scratch sized for a placement's process count.
+    pub fn new(placement: &Placement) -> SimScratch {
+        let p = placement.nprocs();
+        SimScratch {
+            cur: vec![0.0; p],
+            nxt: vec![0.0; p],
+            posted: vec![0.0; p],
+            last_arrival: vec![0.0; p],
+        }
+    }
+
+    /// Per-process exit times of the most recent run.
+    pub fn exits(&self) -> &[f64] {
+        &self.cur
     }
 }
 
@@ -54,6 +106,10 @@ impl<'a> BarrierSim<'a> {
     ///
     /// `net` carries NIC/receiver queues across calls, so consecutive
     /// barriers in a superstep share contention state.
+    ///
+    /// One-shot convenience: compiles the pattern and allocates scratch
+    /// per call. Hot paths compile once and use
+    /// [`BarrierSim::run_once_compiled`].
     pub fn run_once<P: CommPattern + ?Sized>(
         &self,
         pattern: &P,
@@ -62,40 +118,77 @@ impl<'a> BarrierSim<'a> {
         net: &mut NetState,
         rng: &mut StdRng,
     ) -> Vec<f64> {
-        let p = pattern.p();
-        assert_eq!(entry.len(), p, "entry vector length");
-        assert_eq!(self.placement.nprocs(), p, "placement process count");
-        let mut entry = entry.to_vec();
-        for s in 0..pattern.stages() {
-            entry = self.run_stage(pattern, payload, s, &entry, net, rng);
-        }
-        entry
+        let plan = pattern.plan();
+        let mut scratch = SimScratch::new(self.placement);
+        self.run_once_compiled(&plan, payload, entry, net, rng, &mut scratch);
+        scratch.exits().to_vec()
     }
 
-    fn run_stage<P: CommPattern + ?Sized>(
+    /// Runs one execution of a compiled pattern from per-process entry
+    /// times, entirely within `scratch`; read the exit times from
+    /// [`SimScratch::exits`]. Performs no heap allocation.
+    pub fn run_once_compiled(
         &self,
-        pattern: &P,
+        plan: &CompiledPattern,
         payload: &PayloadSchedule,
-        s: usize,
         entry: &[f64],
         net: &mut NetState,
         rng: &mut StdRng,
-    ) -> Vec<f64> {
-        let p = pattern.p();
-        let stage = pattern.stage(s);
+        scratch: &mut SimScratch,
+    ) {
+        let p = plan.p();
+        assert_eq!(entry.len(), p, "entry vector length");
+        scratch.cur.copy_from_slice(entry);
+        self.run_stages(plan, payload, net, rng, scratch);
+    }
+
+    /// Stage loop shared by the compiled entry points; expects the entry
+    /// times in `scratch.cur` and leaves the final exits there.
+    fn run_stages(
+        &self,
+        plan: &CompiledPattern,
+        payload: &PayloadSchedule,
+        net: &mut NetState,
+        rng: &mut StdRng,
+        scratch: &mut SimScratch,
+    ) {
+        assert_eq!(self.placement.nprocs(), plan.p(), "placement process count");
+        for s in 0..plan.stages() {
+            self.run_stage(plan, payload, s, net, rng, scratch);
+            std::mem::swap(&mut scratch.cur, &mut scratch.nxt);
+        }
+    }
+
+    fn run_stage(
+        &self,
+        plan: &CompiledPattern,
+        payload: &PayloadSchedule,
+        s: usize,
+        net: &mut NetState,
+        rng: &mut StdRng,
+        scratch: &mut SimScratch,
+    ) {
+        let p = plan.p();
+        let stage = plan.stage(s);
         let bytes = payload.bytes(s);
+        let SimScratch {
+            cur,
+            nxt,
+            posted,
+            last_arrival,
+        } = scratch;
         // Every process calls into the library: posted time = entry + call
         // overhead; from then on its receives are posted.
-        let posted: Vec<f64> = entry
-            .iter()
-            .map(|&e| e + self.params.call_overhead * self.params.jitter.draw(rng))
-            .collect();
-        let mut exit = posted.clone();
-        // arrivals[j] accumulates processing times of j's inbound signals.
-        let mut last_arrival = vec![f64::NEG_INFINITY; p];
+        for (post, &e) in posted.iter_mut().zip(cur.iter()) {
+            *post = e + self.params.call_overhead * self.params.jitter.draw(rng);
+        }
+        nxt.copy_from_slice(posted);
+        // last_arrival[j] accumulates processing times of j's inbound
+        // signals.
+        last_arrival.fill(f64::NEG_INFINITY);
         for i in 0..p {
             let mut t = posted[i];
-            for j in stage.dsts(i) {
+            for &j in stage.dsts(i) {
                 let (ack, processed) = net.signal_round_trip(
                     self.params,
                     self.placement,
@@ -111,20 +204,20 @@ impl<'a> BarrierSim<'a> {
                     last_arrival[j] = processed;
                 }
             }
-            if t > exit[i] {
-                exit[i] = t;
+            if t > nxt[i] {
+                nxt[i] = t;
             }
         }
         for j in 0..p {
-            if last_arrival[j] > exit[j] {
-                exit[j] = last_arrival[j];
+            if last_arrival[j] > nxt[j] {
+                nxt[j] = last_arrival[j];
             }
         }
-        exit
     }
 
     /// One complete run from a cold start; returns the worst-case (max)
-    /// completion time.
+    /// completion time. One-shot convenience over
+    /// [`BarrierSim::run_total_compiled`].
     pub fn run_total<P: CommPattern + ?Sized>(
         &self,
         pattern: &P,
@@ -132,17 +225,42 @@ impl<'a> BarrierSim<'a> {
         rng: &mut StdRng,
     ) -> f64 {
         let mut net = NetState::new(self.placement);
-        let entry = vec![0.0; pattern.p()];
-        let exit = self.run_once(pattern, payload, &entry, &mut net, rng);
-        exit.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        let mut scratch = SimScratch::new(self.placement);
+        self.run_total_compiled(&pattern.plan(), payload, rng, &mut net, &mut scratch)
+    }
+
+    /// One complete run of a compiled pattern from a cold start over
+    /// caller-owned network state and scratch; returns the worst-case
+    /// (max) completion time. Resets `net` itself (a reset queue is
+    /// indistinguishable from a fresh one), so repetitions reusing one
+    /// `(net, scratch)` pair are bit-identical to cold-state runs —
+    /// and allocation-free.
+    pub fn run_total_compiled(
+        &self,
+        plan: &CompiledPattern,
+        payload: &PayloadSchedule,
+        rng: &mut StdRng,
+        net: &mut NetState,
+        scratch: &mut SimScratch,
+    ) -> f64 {
+        net.reset();
+        scratch.cur.fill(0.0);
+        self.run_stages(plan, payload, net, rng, scratch);
+        scratch
+            .exits()
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Repeated runs with independent jitter streams.
     ///
     /// Every repetition derives its own RNG stream from `(seed, rep)` and
     /// runs on a cold network, so repetitions are independent and the
-    /// fan-out over [`hpm_par::par_map_indexed`] returns samples
-    /// bit-identical to a serial loop at any thread count.
+    /// fan-out over [`hpm_par::par_map_indexed_with`] returns samples
+    /// bit-identical to a serial loop at any thread count. The pattern is
+    /// compiled once and each worker carries one `(NetState, SimScratch)`
+    /// pair across its repetitions, so a repetition allocates nothing.
     pub fn measure<P: CommPattern + ?Sized + Sync>(
         &self,
         pattern: &P,
@@ -150,10 +268,20 @@ impl<'a> BarrierSim<'a> {
         reps: usize,
         seed: u64,
     ) -> BarrierMeasurement {
-        let samples = hpm_par::par_map_indexed(reps, |r| {
-            let mut rng = derive_rng(seed, r as u64);
-            self.run_total(pattern, payload, &mut rng)
-        });
+        let plan = pattern.plan();
+        let samples = hpm_par::par_map_indexed_with(
+            reps,
+            || {
+                (
+                    NetState::new(self.placement),
+                    SimScratch::new(self.placement),
+                )
+            },
+            |(net, scratch), r| {
+                let mut rng = derive_rng(seed, r as u64);
+                self.run_total_compiled(&plan, payload, &mut rng, net, scratch)
+            },
+        );
         BarrierMeasurement { samples }
     }
 }

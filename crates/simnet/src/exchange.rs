@@ -26,8 +26,15 @@ pub struct ExchangeMsg {
     pub issue: f64,
 }
 
+/// Reusable index scratch for [`resolve_exchange_into`]: the issue-order
+/// permutation, only touched when the input is not already sorted.
+#[derive(Debug, Clone, Default)]
+pub struct ExchangeScratch {
+    order: Vec<usize>,
+}
+
 /// Resolved timings of an exchange.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ExchangeResult {
     /// Per message (input order): when the receiver finished absorbing it.
     pub processed: Vec<f64>,
@@ -49,6 +56,9 @@ pub struct ExchangeResult {
 ///
 /// Messages are handled in issue order (ties broken by input order), which
 /// keeps NIC and receiver queues causal.
+///
+/// One-shot convenience over [`resolve_exchange_into`], allocating the
+/// result and scratch per call.
 pub fn resolve_exchange(
     params: &PlatformParams,
     placement: &Placement,
@@ -56,37 +66,70 @@ pub fn resolve_exchange(
     net: &mut NetState,
     rng: &mut StdRng,
 ) -> ExchangeResult {
+    let mut scratch = ExchangeScratch::default();
+    let mut out = ExchangeResult::default();
+    resolve_exchange_into(params, placement, msgs, net, rng, &mut scratch, &mut out);
+    out
+}
+
+/// [`resolve_exchange`] over caller-owned scratch and output buffers:
+/// after warmup the resolution allocates nothing.
+///
+/// Fast path: the BSPlib runtime commits operations in program order, so
+/// its message lists usually arrive already sorted by issue time; a
+/// single O(n) monotonicity scan then skips building and sorting the
+/// permutation entirely. The unsorted path is identical to before — sort
+/// by `(issue, input index)`, which the sorted fast path preserves
+/// because equal issues keep input order either way.
+#[allow(clippy::too_many_arguments)]
+pub fn resolve_exchange_into(
+    params: &PlatformParams,
+    placement: &Placement,
+    msgs: &[ExchangeMsg],
+    net: &mut NetState,
+    rng: &mut StdRng,
+    scratch: &mut ExchangeScratch,
+    out: &mut ExchangeResult,
+) {
     let p = placement.nprocs();
-    let mut order: Vec<usize> = (0..msgs.len()).collect();
-    order.sort_by(|&a, &b| {
-        msgs[a]
-            .issue
-            .partial_cmp(&msgs[b].issue)
-            .expect("NaN issue time")
-            .then(a.cmp(&b))
-    });
-    let mut processed = vec![0.0; msgs.len()];
-    let mut send_done = vec![0.0; msgs.len()];
-    let mut last_in = vec![0.0f64; p];
-    let mut last_out = vec![0.0f64; p];
-    for idx in order {
+    out.processed.clear();
+    out.processed.resize(msgs.len(), 0.0);
+    out.send_done.clear();
+    out.send_done.resize(msgs.len(), 0.0);
+    out.last_in.clear();
+    out.last_in.resize(p, 0.0);
+    out.last_out.clear();
+    out.last_out.resize(p, 0.0);
+    let mut step = |idx: usize, net: &mut NetState, rng: &mut StdRng| {
         let m = &msgs[idx];
         assert!(m.src < p && m.dst < p, "message endpoints out of range");
         let (cpu, done) = net.transfer(params, placement, rng, m.src, m.dst, m.bytes, m.issue);
-        processed[idx] = done;
-        send_done[idx] = cpu;
-        if done > last_in[m.dst] {
-            last_in[m.dst] = done;
+        out.processed[idx] = done;
+        out.send_done[idx] = cpu;
+        if done > out.last_in[m.dst] {
+            out.last_in[m.dst] = done;
         }
-        if cpu > last_out[m.src] {
-            last_out[m.src] = cpu;
+        if cpu > out.last_out[m.src] {
+            out.last_out[m.src] = cpu;
         }
-    }
-    ExchangeResult {
-        processed,
-        send_done,
-        last_in,
-        last_out,
+    };
+    if msgs.windows(2).all(|w| w[0].issue <= w[1].issue) {
+        for idx in 0..msgs.len() {
+            step(idx, net, rng);
+        }
+    } else {
+        scratch.order.clear();
+        scratch.order.extend(0..msgs.len());
+        scratch.order.sort_by(|&a, &b| {
+            msgs[a]
+                .issue
+                .partial_cmp(&msgs[b].issue)
+                .expect("NaN issue time")
+                .then(a.cmp(&b))
+        });
+        for &idx in &scratch.order {
+            step(idx, net, rng);
+        }
     }
 }
 
@@ -217,6 +260,106 @@ mod tests {
         ];
         let r = resolve_exchange(&params, &placement, &msgs, &mut net, &mut rng);
         assert!(r.processed[1] > r.processed[0]);
+    }
+
+    /// The sorted fast path and the permutation path resolve an unsorted
+    /// message list identically, and reused scratch/output buffers match
+    /// the one-shot API bitwise.
+    #[test]
+    fn scratch_reuse_and_unsorted_input_match_one_shot() {
+        let (params, placement) = setup(16);
+        // Deliberately unsorted issues with ties, across several rounds
+        // to exercise buffer reuse (shrinking and growing lists).
+        let rounds: Vec<Vec<ExchangeMsg>> = vec![
+            (0..12)
+                .map(|k| ExchangeMsg {
+                    src: k % 5,
+                    dst: (k + 3) % 16,
+                    bytes: 64 * k as u64,
+                    issue: [3e-6, 0.0, 1e-6, 1e-6][k % 4],
+                })
+                .collect(),
+            vec![ExchangeMsg {
+                src: 1,
+                dst: 2,
+                bytes: 10,
+                issue: 5e-6,
+            }],
+            (0..20)
+                .map(|k| ExchangeMsg {
+                    src: (k * 7) % 16,
+                    dst: (k * 11 + 1) % 16,
+                    bytes: 1000,
+                    issue: k as f64 * 1e-7, // sorted: fast path
+                })
+                .collect(),
+        ];
+        let mut scratch = ExchangeScratch::default();
+        let mut reused = ExchangeResult::default();
+        let mut net_a = NetState::new(&placement);
+        let mut net_b = NetState::new(&placement);
+        for (k, msgs) in rounds.iter().enumerate() {
+            let mut rng_a = derive_rng(42, k as u64);
+            let mut rng_b = derive_rng(42, k as u64);
+            net_a.reset();
+            net_b.reset();
+            let fresh = resolve_exchange(&params, &placement, msgs, &mut net_a, &mut rng_a);
+            resolve_exchange_into(
+                &params,
+                &placement,
+                msgs,
+                &mut net_b,
+                &mut rng_b,
+                &mut scratch,
+                &mut reused,
+            );
+            assert_eq!(fresh.processed, reused.processed, "round {k}");
+            assert_eq!(fresh.send_done, reused.send_done, "round {k}");
+            assert_eq!(fresh.last_in, reused.last_in, "round {k}");
+            assert_eq!(fresh.last_out, reused.last_out, "round {k}");
+        }
+    }
+
+    /// An unsorted list resolves exactly as the same list pre-sorted by
+    /// `(issue, input order)` — the fast path and the permutation are the
+    /// same schedule.
+    #[test]
+    fn unsorted_equals_presorted_schedule() {
+        let (params, placement) = setup(16);
+        let unsorted = [
+            ExchangeMsg {
+                src: 0,
+                dst: 9,
+                bytes: 500,
+                issue: 2e-6,
+            },
+            ExchangeMsg {
+                src: 2,
+                dst: 9,
+                bytes: 500,
+                issue: 0.0,
+            },
+            ExchangeMsg {
+                src: 4,
+                dst: 9,
+                bytes: 500,
+                issue: 2e-6,
+            },
+        ];
+        let sorted = [unsorted[1], unsorted[0], unsorted[2]];
+        let mut net = NetState::new(&placement);
+        let mut rng = derive_rng(9, 0);
+        let a = resolve_exchange(&params, &placement, &unsorted, &mut net, &mut rng);
+        net.reset();
+        let mut rng = derive_rng(9, 0);
+        let b = resolve_exchange(&params, &placement, &sorted, &mut net, &mut rng);
+        // Input order differs, so compare per-process aggregates and the
+        // permuted per-message times.
+        assert_eq!(a.last_in, b.last_in);
+        assert_eq!(a.last_out, b.last_out);
+        assert_eq!(a.processed[1], b.processed[0]);
+        assert_eq!(a.processed[0], b.processed[1]);
+        assert_eq!(a.processed[2], b.processed[2]);
     }
 
     #[test]

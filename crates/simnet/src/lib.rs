@@ -30,8 +30,10 @@ pub mod microbench;
 pub mod net;
 pub mod params;
 
-pub use barrier::{BarrierMeasurement, BarrierSim};
-pub use exchange::{resolve_exchange, ExchangeMsg, ExchangeResult};
+pub use barrier::{BarrierMeasurement, BarrierSim, SimScratch};
+pub use exchange::{
+    resolve_exchange, resolve_exchange_into, ExchangeMsg, ExchangeResult, ExchangeScratch,
+};
 pub use microbench::{bench_platform, MicrobenchConfig, PlatformProfile};
 pub use net::NetState;
 pub use params::{LinkCost, PlatformParams};

@@ -57,7 +57,7 @@ impl NetState {
         ready: f64,
     ) -> f64 {
         if placement.link(src, dst) == LinkClass::Remote {
-            let node = placement.core_of(src).node;
+            let node = placement.node_of(src);
             let dep = ready.max(self.nic_free[node]);
             self.nic_free[node] = dep + params.nic_gap;
             dep

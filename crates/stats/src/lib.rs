@@ -20,5 +20,5 @@ pub use outlier::{filter_outlier_means, OutlierReport};
 pub use quantile::{median, quantile};
 pub use regression::LinearFit;
 pub use rng::{derive_rng, JitterModel};
-pub use summary::Summary;
+pub use summary::{mean, Summary};
 pub use tdist::{student_t_critical, StudentT};

@@ -2,6 +2,26 @@
 
 use crate::quantile::quantile_sorted;
 
+/// Arithmetic mean of a slice via the Welford recurrence — the single
+/// source of truth [`Summary::push`] also steps through, so
+/// `mean(xs)` is bit-identical to `Summary::from_slice(xs).mean()`
+/// without building a summary (and without allocating). 0 for an empty
+/// slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    let mut m = 0.0f64;
+    for (n, &x) in xs.iter().enumerate() {
+        m += welford_step(m, x, n + 1);
+    }
+    m
+}
+
+/// One Welford mean update: the increment to apply when observation `x`
+/// arrives as the `count`-th sample (1-based) with running mean `mean`.
+#[inline]
+fn welford_step(mean: f64, x: f64, count: usize) -> f64 {
+    (x - mean) / count as f64
+}
+
 /// A numerically stable summary of a sample of observations.
 ///
 /// Means and standard deviations are accumulated with Welford's online
@@ -54,7 +74,7 @@ impl Summary {
     pub fn push(&mut self, x: f64) {
         self.count += 1;
         let delta = x - self.mean;
-        self.mean += delta / self.count as f64;
+        self.mean += welford_step(self.mean, x, self.count);
         let delta2 = x - self.mean;
         self.m2 += delta * delta2;
         self.min = self.min.min(x);
@@ -191,6 +211,19 @@ mod tests {
         assert_eq!(odd.median(), 2.0);
         let even = Summary::from_slice(&[4.0, 1.0, 3.0, 2.0]);
         assert_eq!(even.median(), 2.5);
+    }
+
+    /// The slice-level `mean` and the incremental `Summary` step the
+    /// same recurrence, so their results are bit-identical — the
+    /// property `BarrierMeasurement::mean` relies on.
+    #[test]
+    fn slice_mean_is_bit_identical_to_summary() {
+        use rand::Rng;
+        let mut rng = crate::rng::derive_rng(5, 9);
+        for len in [0usize, 1, 2, 7, 100, 1000] {
+            let xs: Vec<f64> = (0..len).map(|_| rng.gen::<f64>() * 1e-3 + 1e-5).collect();
+            assert_eq!(mean(&xs), Summary::from_slice(&xs).mean(), "len {len}");
+        }
     }
 
     #[test]

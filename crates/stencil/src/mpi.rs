@@ -16,7 +16,7 @@
 use crate::decomp::Decomposition;
 use hpm_kernels::rate::ProcessorModel;
 use hpm_kernels::stencil::Stencil5;
-use hpm_simnet::exchange::{resolve_exchange, ExchangeMsg};
+use hpm_simnet::exchange::{resolve_exchange_into, ExchangeMsg, ExchangeResult, ExchangeScratch};
 use hpm_simnet::net::NetState;
 use hpm_simnet::params::PlatformParams;
 use hpm_stats::rng::derive_rng;
@@ -79,6 +79,8 @@ pub fn run_mpi_stencil(
     let decomp = Decomposition::new(n, p);
     let mut rng = derive_rng(seed, 0x4D50);
     let mut net = NetState::new(placement);
+    let mut ex_scratch = ExchangeScratch::default();
+    let mut res = ExchangeResult::default();
     let mut t = vec![0.0f64; p];
     let mut iter_times = Vec::with_capacity(iters);
     let per_cell: Vec<f64> = (0..p)
@@ -95,10 +97,26 @@ pub fn run_mpi_stencil(
                     *tr += cells * per_cell[r] * params.jitter.draw(&mut rng);
                 }
                 // Stage 1: north/south sendrecv.
-                exchange_stage(params, placement, &decomp, &mut t, &mut net, &mut rng, true);
+                exchange_stage(
+                    params,
+                    placement,
+                    &decomp,
+                    &mut t,
+                    &mut net,
+                    &mut rng,
+                    (&mut ex_scratch, &mut res),
+                    true,
+                );
                 // Stage 2: west/east sendrecv.
                 exchange_stage(
-                    params, placement, &decomp, &mut t, &mut net, &mut rng, false,
+                    params,
+                    placement,
+                    &decomp,
+                    &mut t,
+                    &mut net,
+                    &mut rng,
+                    (&mut ex_scratch, &mut res),
+                    false,
                 );
             }
             MpiVariant::EarlyRequests => {
@@ -131,7 +149,15 @@ pub fn run_mpi_stencil(
                         * params.jitter.draw(&mut rng);
                     interior_done[r] = t_border + rest;
                 }
-                let res = resolve_exchange(params, placement, &msgs, &mut net, &mut rng);
+                resolve_exchange_into(
+                    params,
+                    placement,
+                    &msgs,
+                    &mut net,
+                    &mut rng,
+                    &mut ex_scratch,
+                    &mut res,
+                );
                 // The closing waitall covers the send requests too — the
                 // next iteration reuses the border buffers — so an
                 // iteration ends no earlier than the process' own send
@@ -163,6 +189,7 @@ fn exchange_stage(
     t: &mut [f64],
     net: &mut NetState,
     rng: &mut rand::rngs::StdRng,
+    (ex_scratch, res): (&mut ExchangeScratch, &mut ExchangeResult),
     north_south: bool,
 ) {
     let mut msgs = Vec::new();
@@ -190,7 +217,7 @@ fn exchange_stage(
             }
         }
     }
-    let res = resolve_exchange(params, placement, &msgs, net, rng);
+    resolve_exchange_into(params, placement, &msgs, net, rng, ex_scratch, res);
     // Blocking semantics: a process leaves the stage when its inbound
     // borders are in and its own sends have left the CPU.
     for (r, tr) in t.iter_mut().enumerate() {

@@ -21,11 +21,12 @@
 use crate::decomp::Decomposition;
 use hpm_barriers::patterns::dissemination;
 use hpm_bsplib::ops::HEADER_BYTES;
+use hpm_core::pattern::CommPattern;
 use hpm_core::predictor::{predict_barrier, PayloadSchedule};
 use hpm_kernels::rate::ProcessorModel;
 use hpm_kernels::stencil::Stencil5;
-use hpm_simnet::barrier::BarrierSim;
-use hpm_simnet::exchange::{resolve_exchange, ExchangeMsg};
+use hpm_simnet::barrier::{BarrierSim, SimScratch};
+use hpm_simnet::exchange::{resolve_exchange_into, ExchangeMsg, ExchangeResult, ExchangeScratch};
 use hpm_simnet::microbench::PlatformProfile;
 use hpm_simnet::net::NetState;
 use hpm_simnet::params::PlatformParams;
@@ -150,14 +151,20 @@ pub fn measure_ghost_width(
     let p = placement.nprocs();
     let decomp = Decomposition::new(n, p);
     let sim = BarrierSim::new(params, placement);
-    let pattern = (p >= 2).then(|| dissemination(p));
+    // Fixed pattern for the whole sweep point: compile once, reuse the
+    // executor and exchange scratch across supersteps.
+    let plan = (p >= 2).then(|| dissemination(p).plan());
     let payload = PayloadSchedule::dissemination_count_map(p);
     let mut rng = derive_rng(seed, w as u64);
     let mut net = NetState::new(placement);
+    let mut scratch = SimScratch::new(placement);
+    let mut ex_scratch = ExchangeScratch::default();
+    let mut res = ExchangeResult::default();
+    let mut msgs: Vec<ExchangeMsg> = Vec::new();
+    let mut compute_done = vec![0.0f64; p];
     let mut t = vec![0.0f64; p];
     for _ in 0..supersteps {
-        let mut msgs = Vec::new();
-        let mut compute_done = vec![0.0f64; p];
+        msgs.clear();
         for r in 0..p {
             let cells = superstep_cells(&decomp, r, w);
             let per_cell = proc_model.secs_per_element(&Stencil5, decomp.block(r).cells());
@@ -189,10 +196,28 @@ pub fn measure_ghost_width(
             let rest = (cells as f64 * per_cell - pre).max(0.0);
             compute_done[r] = t_commit + rest * params.jitter.draw(&mut rng);
         }
-        let res = resolve_exchange(params, placement, &msgs, &mut net, &mut rng);
-        let exits = match &pattern {
-            Some(pat) => sim.run_once(pat, &payload, &compute_done, &mut net, &mut rng),
-            None => compute_done.clone(),
+        resolve_exchange_into(
+            params,
+            placement,
+            &msgs,
+            &mut net,
+            &mut rng,
+            &mut ex_scratch,
+            &mut res,
+        );
+        let exits: &[f64] = match &plan {
+            Some(plan) => {
+                sim.run_once_compiled(
+                    plan,
+                    &payload,
+                    &compute_done,
+                    &mut net,
+                    &mut rng,
+                    &mut scratch,
+                );
+                scratch.exits()
+            }
+            None => &compute_done,
         };
         // A process leaves the superstep once the barrier released it,
         // its inbound bands landed, and its own sends' o_send tails have

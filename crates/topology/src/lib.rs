@@ -12,7 +12,7 @@
 pub mod placement;
 pub mod shape;
 
-pub use placement::{Placement, PlacementPolicy};
+pub use placement::{LinkMap, Placement, PlacementPolicy};
 pub use shape::{ClusterShape, CoreId, LinkClass};
 
 /// The 8-node, dual-socket quad-core Xeon cluster of §5.6.6 (64 cores).

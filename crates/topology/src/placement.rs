@@ -25,6 +25,58 @@ pub enum PlacementPolicy {
     Spread,
 }
 
+/// Precomputed pairwise link classes and node residency of a placement.
+///
+/// Per-message link classification sits on the innermost loop of every
+/// simulator path (each signal round trip classifies its endpoints, and
+/// NIC egress accounting asks for the sender's node), so the placement
+/// compiles the full `P×P` [`LinkClass`] matrix — one byte per ordered
+/// pair — and the rank → node map once at construction. Classification is
+/// then a single indexed load instead of two `CoreId` fetches and a
+/// coordinate comparison chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkMap {
+    nprocs: usize,
+    classes: Vec<LinkClass>,
+    node_of: Vec<usize>,
+}
+
+impl LinkMap {
+    fn new(shape: &ClusterShape, cores: &[CoreId]) -> LinkMap {
+        let nprocs = cores.len();
+        let mut classes = Vec::with_capacity(nprocs * nprocs);
+        for &a in cores {
+            for &b in cores {
+                classes.push(shape.link_class(a, b));
+            }
+        }
+        LinkMap {
+            nprocs,
+            classes,
+            node_of: cores.iter().map(|c| c.node).collect(),
+        }
+    }
+
+    /// Link class between two ranks — one indexed load. Debug builds
+    /// keep the old per-rank bounds check (a flat index can be in range
+    /// while `b` is not).
+    #[inline]
+    pub fn class(&self, a: usize, b: usize) -> LinkClass {
+        debug_assert!(
+            a < self.nprocs && b < self.nprocs,
+            "rank pair ({a},{b}) out of range for {} processes",
+            self.nprocs
+        );
+        self.classes[a * self.nprocs + b]
+    }
+
+    /// Node hosting a rank — the cached `core_of(rank).node`.
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> usize {
+        self.node_of[rank]
+    }
+}
+
 /// A concrete assignment of `nprocs` ranks to cores of a cluster.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Placement {
@@ -32,6 +84,10 @@ pub struct Placement {
     policy: PlacementPolicy,
     nprocs: usize,
     cores: Vec<CoreId>,
+    links: LinkMap,
+    /// Ranks resident on each node, ascending — the §5.2 in-node lists.
+    node_ranks: Vec<Vec<usize>>,
+    remote_pairs: usize,
 }
 
 impl Placement {
@@ -54,7 +110,7 @@ impl Placement {
                 shape.nodes()
             );
         }
-        let cores = (0..nprocs)
+        let cores: Vec<CoreId> = (0..nprocs)
             .map(|r| match policy {
                 PlacementPolicy::RoundRobin => {
                     let node = r % nodes_used;
@@ -65,11 +121,24 @@ impl Placement {
                 PlacementPolicy::Spread => shape.core_at(r, 0),
             })
             .collect();
+        let links = LinkMap::new(&shape, &cores);
+        let mut node_ranks = vec![Vec::new(); shape.nodes()];
+        for (r, c) in cores.iter().enumerate() {
+            node_ranks[c.node].push(r);
+        }
+        let remote_pairs = links
+            .classes
+            .iter()
+            .filter(|&&c| c == LinkClass::Remote)
+            .count();
         Placement {
             shape,
             policy,
             nprocs,
             cores,
+            links,
+            node_ranks,
+            remote_pairs,
         }
     }
 
@@ -93,38 +162,47 @@ impl Placement {
         self.cores[rank]
     }
 
-    /// Link class between two ranks.
+    /// Node hosting a rank — served from the precomputed [`LinkMap`].
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> usize {
+        self.links.node_of(rank)
+    }
+
+    /// Link class between two ranks — one load from the precomputed
+    /// [`LinkMap`].
+    #[inline]
     pub fn link(&self, a: usize, b: usize) -> LinkClass {
-        self.shape.link_class(self.cores[a], self.cores[b])
+        self.links.class(a, b)
+    }
+
+    /// The precomputed pairwise link classes and node residency.
+    pub fn link_map(&self) -> &LinkMap {
+        &self.links
     }
 
     /// Number of distinct nodes hosting at least one rank.
     pub fn nodes_used(&self) -> usize {
-        let mut seen = vec![false; self.shape.nodes()];
-        for c in &self.cores {
-            seen[c.node] = true;
-        }
-        seen.iter().filter(|&&s| s).count()
+        self.node_ranks.iter().filter(|r| !r.is_empty()).count()
     }
 
-    /// Ranks resident on a node, ascending.
+    /// Ranks resident on a node, ascending — served from the node buckets
+    /// built at construction (see [`Placement::node_ranks`] for the
+    /// borrow-only form). An out-of-range node hosts no ranks, as in the
+    /// original scan-based implementation.
     pub fn ranks_on_node(&self, node: usize) -> Vec<usize> {
-        (0..self.nprocs)
-            .filter(|&r| self.cores[r].node == node)
-            .collect()
+        self.node_ranks.get(node).cloned().unwrap_or_default()
     }
 
-    /// Count of remote (cross-node) pairs among all ordered rank pairs.
+    /// Borrow the ranks resident on a node, ascending; empty for a node
+    /// outside the shape.
+    pub fn node_ranks(&self, node: usize) -> &[usize] {
+        self.node_ranks.get(node).map_or(&[], Vec::as_slice)
+    }
+
+    /// Count of remote (cross-node) pairs among all ordered rank pairs —
+    /// counted once at construction.
     pub fn remote_pair_count(&self) -> usize {
-        let mut n = 0;
-        for i in 0..self.nprocs {
-            for j in 0..self.nprocs {
-                if i != j && self.link(i, j) == LinkClass::Remote {
-                    n += 1;
-                }
-            }
-        }
-        n
+        self.remote_pairs
     }
 }
 
@@ -230,5 +308,44 @@ mod tests {
     #[should_panic]
     fn oversubscription_rejected() {
         Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 65);
+    }
+
+    /// The precomputed LinkMap and node buckets agree with the direct
+    /// per-pair derivation from core coordinates, for every policy and a
+    /// spread of process counts.
+    #[test]
+    fn link_map_matches_direct_derivation() {
+        let shape = cluster_8x2x4();
+        for &policy in &[
+            PlacementPolicy::RoundRobin,
+            PlacementPolicy::Block,
+            PlacementPolicy::Spread,
+        ] {
+            for n in [1usize, 2, 7, 8] {
+                let p = Placement::new(shape, policy, n);
+                let mut remote = 0;
+                for a in 0..n {
+                    assert_eq!(p.node_of(a), p.core_of(a).node);
+                    for b in 0..n {
+                        let direct = shape.link_class(p.core_of(a), p.core_of(b));
+                        assert_eq!(p.link(a, b), direct, "{policy:?} n={n} ({a},{b})");
+                        if a != b && direct == LinkClass::Remote {
+                            remote += 1;
+                        }
+                    }
+                }
+                assert_eq!(p.remote_pair_count(), remote, "{policy:?} n={n}");
+                for node in 0..shape.nodes() {
+                    let bucket: Vec<usize> =
+                        (0..n).filter(|&r| p.core_of(r).node == node).collect();
+                    assert_eq!(p.ranks_on_node(node), bucket);
+                    assert_eq!(p.node_ranks(node), &bucket[..]);
+                }
+                // Out-of-range nodes host nothing (the pre-LinkMap
+                // scan-based behavior).
+                assert!(p.ranks_on_node(shape.nodes()).is_empty());
+                assert!(p.node_ranks(shape.nodes() + 7).is_empty());
+            }
+        }
     }
 }

@@ -1,0 +1,92 @@
+//! PR 4 acceptance: after warmup, the compiled barrier executor performs
+//! zero heap allocations per repetition.
+//!
+//! A counting global allocator wraps the system allocator; the test warms
+//! up one `(NetState, SimScratch)` pair, snapshots the allocation
+//! counter, runs many full repetitions (including RNG derivation, the
+//! measurement loop's real per-item work) and asserts the counter did not
+//! move. This file holds exactly one test: integration-test binaries are
+//! one process each, so no concurrent test can pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn compiled_barrier_repetitions_allocate_nothing() {
+    use hpm::barriers::patterns::{binary_tree, dissemination};
+    use hpm::model::pattern::CommPattern;
+    use hpm::model::predictor::PayloadSchedule;
+    use hpm::simnet::barrier::{BarrierSim, SimScratch};
+    use hpm::simnet::net::NetState;
+    use hpm::simnet::params::xeon_cluster_params;
+    use hpm::stats::rng::derive_rng;
+    use hpm::topology::{cluster_8x2x4, Placement, PlacementPolicy};
+
+    let params = xeon_cluster_params();
+    let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 64);
+    let sim = BarrierSim::new(&params, &placement);
+    for (pattern, payload) in [
+        (dissemination(64), PayloadSchedule::none()),
+        (
+            binary_tree(64),
+            PayloadSchedule::dissemination_count_map(64),
+        ),
+    ] {
+        let plan = pattern.plan();
+        let mut net = NetState::new(&placement);
+        let mut scratch = SimScratch::new(&placement);
+        // Warmup: one full repetition through every stage shape.
+        let mut rng = derive_rng(42, 0);
+        let warm = sim.run_total_compiled(&plan, &payload, &mut rng, &mut net, &mut scratch);
+        assert!(warm > 0.0);
+
+        // The libtest harness owns background threads that allocate
+        // sporadically through the same global allocator, so a single
+        // trial can read a few stray counts. A genuine per-repetition
+        // allocation would show up in *every* trial (≥ 256 counts), so
+        // take the minimum across trials and require it to be zero.
+        let mut min_delta = usize::MAX;
+        for trial in 0..8 {
+            let before = ALLOCATIONS.load(Ordering::SeqCst);
+            let mut acc = 0.0;
+            for rep in 0..256u64 {
+                let mut rng = derive_rng(42 + trial, rep);
+                acc += sim.run_total_compiled(&plan, &payload, &mut rng, &mut net, &mut scratch);
+            }
+            let after = ALLOCATIONS.load(Ordering::SeqCst);
+            assert!(acc.is_finite() && acc > 0.0);
+            min_delta = min_delta.min(after - before);
+        }
+        assert_eq!(
+            min_delta,
+            0,
+            "{}: every trial of 256 warm repetitions heap-allocated (min {min_delta})",
+            plan.name(),
+        );
+    }
+}

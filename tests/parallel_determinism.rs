@@ -17,6 +17,72 @@ use hpm::topology::{cluster_8x2x4, Placement, PlacementPolicy};
 use hpm_bench::experiments::{run_experiment, Effort};
 use proptest::prelude::*;
 
+/// FNV-1a over the bit patterns of a sample vector.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn fnv_samples(samples: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for s in samples {
+        h ^= s.to_bits();
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// FNV-1a over raw bytes.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn fnv_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Golden pin of the flat-simulation-core refactor (PR 4): the samples
+/// [`hpm::simnet::BarrierSim::measure`] produces were hashed on the
+/// pre-refactor dense executor (allocate-per-query `IMat::dsts`, fresh
+/// buffers per stage) and must never move — the RNG draw order is part of
+/// the simulator's contract. A change here means the simulator computes
+/// *different physics*, not just different performance.
+///
+/// Gated to the CI platform: the jitter model evaluates `ln`/`cos`/`exp`
+/// through the platform libm, whose last-ULP rounding differs across
+/// libc/architecture. On other hosts the serial-vs-parallel and
+/// flat-vs-dense equivalences still hold (and are tested); only these
+/// absolute bit patterns are glibc/x86-64 specific.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+#[test]
+fn measure_samples_match_pre_refactor_goldens() {
+    use hpm::barriers::patterns::{binary_tree, dissemination};
+    use hpm::model::predictor::PayloadSchedule;
+    use hpm::simnet::barrier::BarrierSim;
+
+    let params = xeon_cluster_params();
+    for (p, golden_first, golden_fnv) in [
+        (16usize, 4538900386171177803u64, 0x6277b00649a6d60fu64),
+        (64, 4544206986120072912, 0x97cf94a1ca19ef1c),
+    ] {
+        let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, p);
+        let sim = BarrierSim::new(&params, &placement);
+        let m = sim.measure(&dissemination(p), &PayloadSchedule::none(), 256, 42);
+        assert_eq!(m.samples.len(), 256);
+        assert_eq!(m.samples[0].to_bits(), golden_first, "p={p} first sample");
+        assert_eq!(fnv_samples(&m.samples), golden_fnv, "p={p} sample stream");
+    }
+    // A payload-carrying tree pattern exercises the srcs/posted tables.
+    let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 24);
+    let sim = BarrierSim::new(&params, &placement);
+    let m = sim.measure(
+        &binary_tree(24),
+        &PayloadSchedule::dissemination_count_map(24),
+        64,
+        7,
+    );
+    assert_eq!(m.samples[0].to_bits(), 0x3f23eb640010cf46);
+    assert_eq!(fnv_samples(&m.samples), 0xc10ff863d6b1a0b7);
+}
+
 /// Runs the given experiments at quick effort into a throwaway directory
 /// and returns every produced file as `(name, bytes)`.
 fn run_all(ids: &[&str], threads: usize, tag: &str) -> Vec<(String, Vec<u8>)> {
@@ -50,6 +116,32 @@ fn experiment_csv_bytes_identical_across_thread_counts() {
     let ids = ["fig5_6", "fig6_3", "collectives"];
     let serial = run_all(&ids, 1, "t1");
     assert!(!serial.is_empty());
+    // Golden pin (PR 4): these artifacts were hashed byte-for-byte on the
+    // pre-refactor dense simulation core; the flat (CSR + scratch) core
+    // must reproduce them exactly. Like the sample goldens above, the
+    // absolute hashes hold only under the CI platform's libm.
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    {
+        let goldens: &[(&str, u64)] = &[
+            ("collectives_predict_vs_sim.csv", 0x983b2007e1d7ffd9),
+            ("fig5_6to9_8x2x4_abs_error.csv", 0xfa2a03bf1ffd909e),
+            ("fig5_6to9_8x2x4_measured.csv", 0xc385d0a6a70e529f),
+            ("fig5_6to9_8x2x4_predicted.csv", 0x90e5386a843e1794),
+            ("fig5_6to9_8x2x4_rel_error.csv", 0xabfb513c3a7cc9b3),
+            ("fig6_3.csv", 0xdba0cb38f891463a),
+        ];
+        for (name, want) in goldens {
+            let (_, bytes) = serial
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing artifact {name}"));
+            assert_eq!(
+                fnv_bytes(bytes),
+                *want,
+                "{name} diverged from the pre-refactor golden bytes"
+            );
+        }
+    }
     let hw = std::thread::available_parallelism().map_or(4, |n| n.get());
     for threads in [2, 3, hw.max(2)] {
         let par = run_all(&ids, threads, &format!("t{threads}"));

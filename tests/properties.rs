@@ -58,6 +58,103 @@ proptest! {
         }
     }
 
+    /// The flat compiled form is a faithful view of the dense encoding:
+    /// on random patterns, CSR `dsts`/`srcs` enumeration, degrees, the
+    /// precomputed last-send table and the §5.6.5 posted booleans all
+    /// equal their dense-`IMat` derivations.
+    #[test]
+    fn compiled_plan_matches_dense_pattern(
+        p in 1usize..64,
+        n_stages in 0usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        use hpm::model::matrix::IMat;
+        use hpm::model::plan::CompiledPattern;
+
+        /// A raw staged pattern without the barrier constructors'
+        /// non-empty-stage validation, so degenerate shapes (p = 1,
+        /// zero stages, idle ranks) are covered too.
+        struct RandomPattern {
+            p: usize,
+            stages: Vec<IMat>,
+        }
+        impl CommPattern for RandomPattern {
+            fn name(&self) -> &str {
+                "random"
+            }
+            fn p(&self) -> usize {
+                self.p
+            }
+            fn stages(&self) -> usize {
+                self.stages.len()
+            }
+            fn stage(&self, k: usize) -> &hpm::model::matrix::IMat {
+                &self.stages[k]
+            }
+        }
+
+        // SplitMix64: no extra dev-dependency needed for edge sampling.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = state;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        };
+        // p = 1 admits no edges at all (self-loops are rejected).
+        let n_stages = if p == 1 { 0 } else { n_stages };
+        let stages: Vec<IMat> = (0..n_stages)
+            .map(|_| {
+                let mut m = IMat::empty(p);
+                let edges = 1 + (next() as usize) % (2 * p);
+                for _ in 0..edges {
+                    let i = (next() as usize) % p;
+                    let j = (next() as usize) % p;
+                    if i != j {
+                        m.insert(i, j);
+                    }
+                }
+                m
+            })
+            .collect();
+        let pat = RandomPattern { p, stages };
+        let plan = CompiledPattern::compile(&pat);
+
+        prop_assert_eq!(plan.p(), p);
+        prop_assert_eq!(plan.stages(), pat.stages());
+        prop_assert_eq!(plan.total_signals(), pat.total_signals());
+        for s in 0..pat.stages() {
+            let dense = pat.stage(s);
+            let flat = plan.stage(s);
+            prop_assert_eq!(flat.edge_count(), dense.edge_count());
+            for r in 0..p {
+                prop_assert_eq!(flat.dsts(r), &dense.dsts(r).collect::<Vec<_>>()[..]);
+                prop_assert_eq!(flat.srcs(r), &dense.srcs(r).collect::<Vec<_>>()[..]);
+                prop_assert_eq!(flat.out_degree(r), dense.out_degree(r));
+                prop_assert_eq!(flat.in_degree(r), dense.in_degree(r));
+            }
+        }
+        for i in 0..p {
+            for before in 0..=pat.stages() + 1 {
+                prop_assert_eq!(
+                    plan.last_send_stage(i, before),
+                    pat.last_send_stage(i, before),
+                    "rank {} before {}", i, before
+                );
+            }
+            // Reference definition of the §5.6.5 posted test.
+            for s in 0..pat.stages() {
+                let reference = s > 0
+                    && match pat.last_send_stage(i, s) {
+                        None => true,
+                        Some(k) => k + 1 < s,
+                    };
+                prop_assert_eq!(plan.is_posted(i, s), reference, "rank {} stage {}", i, s);
+            }
+        }
+    }
+
     /// Barrier prediction is monotone in latency: scaling all pairwise
     /// latencies up cannot make the barrier faster.
     #[test]
