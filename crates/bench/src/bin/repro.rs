@@ -16,7 +16,7 @@
 //! identical at every thread count (the per-point RNG streams are derived
 //! from the seed and the point's coordinates, never shared).
 
-use hpm_bench::experiments::{registry, run_experiment, Effort};
+use hpm_bench::experiments::{registry, run_experiment, stochastic_path, Effort};
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -67,8 +67,8 @@ fn main() {
                 json_path = Some(PathBuf::from(it.next().expect("--json needs a file path")));
             }
             "list" => {
-                for (id, desc, _) in registry() {
-                    println!("{id:<10} {desc}");
+                for (id, desc, stochastic, _) in registry() {
+                    println!("{id:<10} [{stochastic:>10}] {desc}");
                 }
                 return;
             }
@@ -76,7 +76,10 @@ fn main() {
         }
     }
     if ids.iter().any(|s| s == "all") {
-        ids = registry().iter().map(|(id, _, _)| id.to_string()).collect();
+        ids = registry()
+            .iter()
+            .map(|(id, _, _, _)| id.to_string())
+            .collect();
     }
     let t0 = std::time::Instant::now();
     let mut timings: Vec<Timing> = Vec::new();
@@ -93,6 +96,7 @@ fn main() {
                     secs,
                     files: paths.len(),
                     items: count_items(&paths),
+                    stochastic: stochastic_path(id).expect("id resolved above"),
                 });
             }
             None => {
@@ -115,6 +119,10 @@ struct Timing {
     secs: f64,
     files: usize,
     items: usize,
+    /// Which stochastic engine produced the numbers ("batched" /
+    /// "host-clock" / "none") — makes perf-trajectory artifacts
+    /// attributable to the path that ran them.
+    stochastic: &'static str,
 }
 
 /// Result items an experiment produced: data rows across its CSV
@@ -145,8 +153,9 @@ fn write_json(path: &PathBuf, effort: &str, total: f64, timings: &[Timing]) {
     for (k, t) in timings.iter().enumerate() {
         let comma = if k + 1 < timings.len() { "," } else { "" };
         s.push_str(&format!(
-            "    {{\"id\": \"{}\", \"seconds\": {:.3}, \"files\": {}, \"items\": {}}}{comma}\n",
-            t.id, t.secs, t.files, t.items
+            "    {{\"id\": \"{}\", \"seconds\": {:.3}, \"files\": {}, \"items\": {}, \
+             \"stochastic_path\": \"{}\"}}{comma}\n",
+            t.id, t.secs, t.files, t.items, t.stochastic
         ));
     }
     s.push_str("  ]\n}\n");

@@ -1029,94 +1029,167 @@ pub fn collectives_runtime(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
 
 type ExperimentFn = fn(&Path, &Effort) -> Vec<PathBuf>;
 
-/// The full experiment registry: `(id, description, function)`.
-pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
+/// Which stochastic engine an experiment's hot loop runs on — reported
+/// by `repro --json` so perf-trajectory artifacts are attributable to
+/// the path that produced them.
+///
+/// `"batched"`: simulated experiments whose network stochastics
+/// (barrier executor, microbenchmark, background transfers) draw from
+/// batch-filled jitter tables; any compute-time jitter rides the scalar
+/// cached-pair path. `"host-clock"`: genuinely measured against the
+/// host wall clock, no simulated stochastics. `"none"`: deterministic
+/// rendering, no stochastics at all.
+pub type StochasticPath = &'static str;
+
+/// The full experiment registry: `(id, description, stochastic path,
+/// function)`.
+pub fn registry() -> Vec<(&'static str, &'static str, StochasticPath, ExperimentFn)> {
     vec![
         (
             "table3_1",
             "BSPBench parameter values, 8x2x4 cluster",
+            "batched",
             table3_1,
         ),
         (
             "fig3_2",
             "inner product: timings vs classic BSP estimates",
+            "batched",
             fig3_2,
         ),
         (
             "fig4_2",
             "bspbench computation rates vs vector size (host)",
+            "host-clock",
             fig4_2,
         ),
         (
             "fig4_3",
             "kernel rates and predictions, 2 kernels (host)",
+            "host-clock",
             fig4_3_4_4,
         ),
-        ("fig4_5", "L1 BLAS, in-cache problem sizes (host)", fig4_5),
+        (
+            "fig4_5",
+            "L1 BLAS, in-cache problem sizes (host)",
+            "host-clock",
+            fig4_5,
+        ),
         (
             "fig4_6",
             "L1 BLAS, out-of-cache problem sizes (host)",
+            "host-clock",
             fig4_6,
         ),
         (
             "fig5_2",
             "4-process barrier patterns in matrix form",
+            "none",
             fig5_2_3_4,
         ),
         (
             "fig5_6",
             "barrier timings/predictions/errors, 8x2x4",
+            "batched",
             fig5_6_to_5_9,
         ),
         (
             "fig5_10",
             "barrier timings/predictions/errors, 12x2x6",
+            "batched",
             fig5_10_to_5_13,
         ),
-        ("fig6_3", "BSP sync measured vs estimate, 8x2x4", fig6_3),
-        ("fig6_4", "BSP sync measured vs estimate, 12x2x6", fig6_4),
+        (
+            "fig6_3",
+            "BSP sync measured vs estimate, 8x2x4",
+            "batched",
+            fig6_3,
+        ),
+        (
+            "fig6_4",
+            "BSP sync measured vs estimate, 12x2x6",
+            "batched",
+            fig6_4,
+        ),
         (
             "table7_1",
             "SSS clustering, 60 processes on 8x2x4",
+            "batched",
             table7_1,
         ),
         (
             "table7_2",
             "SSS clustering, 115 processes on 10x2x6",
+            "batched",
             table7_2,
         ),
-        ("fig7_4", "hybrid barrier performance, 8x2x4", fig7_4),
-        ("fig7_5", "hybrid barrier performance, 12x2x6", fig7_5),
-        ("fig7_6", "greedy adapted barrier, 8x2x4", fig7_6),
-        ("fig7_7", "greedy adapted barrier, 12x2x6", fig7_7),
-        ("table8_1", "stencil experimental configurations", table8_1),
-        ("table8_2", "MPI and MPI+R wall times", table8_2),
-        ("fig8_4", "A1: strong scaling, all implementations", fig8_4),
-        ("fig8_5", "A2: strong scaling, BSP implementations", fig8_5),
+        (
+            "fig7_4",
+            "hybrid barrier performance, 8x2x4",
+            "batched",
+            fig7_4,
+        ),
+        (
+            "fig7_5",
+            "hybrid barrier performance, 12x2x6",
+            "batched",
+            fig7_5,
+        ),
+        ("fig7_6", "greedy adapted barrier, 8x2x4", "batched", fig7_6),
+        (
+            "fig7_7",
+            "greedy adapted barrier, 12x2x6",
+            "batched",
+            fig7_7,
+        ),
+        (
+            "table8_1",
+            "stencil experimental configurations",
+            "none",
+            table8_1,
+        ),
+        ("table8_2", "MPI and MPI+R wall times", "batched", table8_2),
+        (
+            "fig8_4",
+            "A1: strong scaling, all implementations",
+            "batched",
+            fig8_4,
+        ),
+        (
+            "fig8_5",
+            "A2: strong scaling, BSP implementations",
+            "batched",
+            fig8_5,
+        ),
         (
             "fig8_6",
             "A3: strong scaling, selected, small problem",
+            "batched",
             fig8_6,
         ),
         (
             "fig8_7",
             "A4: strong scaling, incl. hybrid, small problem",
+            "batched",
             fig8_7,
         ),
         (
             "fig8_10",
             "B1-B6: stencil prediction vs measurement",
+            "batched",
             fig8_10_to_8_15,
         ),
-        ("fig8_18", "C1: ghost-width adaptation", fig8_18),
+        ("fig8_18", "C1: ghost-width adaptation", "batched", fig8_18),
         (
             "collectives",
             "predicted vs simulated collective costs",
+            "batched",
             collectives_predict_vs_sim,
         ),
         (
             "coll_rt",
             "allreduce through the BSPlib runtime vs prediction",
+            "batched",
             collectives_runtime,
         ),
     ]
@@ -1126,6 +1199,14 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
 pub fn run_experiment(id: &str, dir: &Path, effort: &Effort) -> Option<Vec<PathBuf>> {
     registry()
         .into_iter()
-        .find(|(name, _, _)| *name == id)
-        .map(|(_, _, f)| f(dir, effort))
+        .find(|(name, _, _, _)| *name == id)
+        .map(|(_, _, _, f)| f(dir, effort))
+}
+
+/// The stochastic path an experiment runs on, by id.
+pub fn stochastic_path(id: &str) -> Option<StochasticPath> {
+    registry()
+        .into_iter()
+        .find(|(name, _, _, _)| *name == id)
+        .map(|(_, _, path, _)| path)
 }

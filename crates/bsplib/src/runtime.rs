@@ -31,11 +31,22 @@ use hpm_barriers::patterns::dissemination;
 use hpm_core::predictor::PayloadSchedule;
 use hpm_kernels::rate::ProcessorModel;
 use hpm_simnet::barrier::{BarrierSim, SimScratch};
-use hpm_simnet::exchange::{resolve_exchange_into, ExchangeMsg, ExchangeResult, ExchangeScratch};
+use hpm_simnet::exchange::{
+    exchange_jitter_draws, resolve_exchange_into, ExchangeMsg, ExchangeResult, ExchangeScratch,
+};
 use hpm_simnet::net::NetState;
 use hpm_simnet::params::PlatformParams;
-use hpm_stats::rng::derive_rng;
+use hpm_stats::rng::{derive_rng, JitterBuf};
 use hpm_topology::Placement;
+
+/// Stream label of the payload-carrying sync's jitter tables; `rep` is
+/// the superstep index.
+const SYNC_JITTER_LABEL: u64 = 0x5253_594E; // b"RSYN"
+
+/// Stream label of the background-transfer resolutions; `rep` is
+/// `2·superstep` for the header/payload pass and `2·superstep + 1` for
+/// the get replies.
+const EXCHANGE_JITTER_LABEL: u64 = 0x5245_5843; // b"REXC"
 
 /// An SPMD program: one instance per process; each `superstep` call is the
 /// code between two `bsp_sync`s.
@@ -231,6 +242,12 @@ pub fn run_spmd<P: BspProgram>(
     });
     let mut sync_scratch = SimScratch::new(&cfg.placement);
     let mut ex_scratch = ExchangeScratch::default();
+    // Background transfers run on the batched jitter engine: one table
+    // per resolution pass, filled to the message list's exact draw count
+    // from a stream keyed by the superstep. (Program compute jitter
+    // stays on the scalar path through `rng` — the draws arrive one at a
+    // time as the program advances its clock.)
+    let mut ex_jitter = JitterBuf::new();
     let mut r1 = ExchangeResult::default();
     let mut r2 = ExchangeResult::default();
     let sim = BarrierSim::new(&cfg.params, &cfg.placement);
@@ -313,12 +330,19 @@ pub fn run_spmd<P: BspProgram>(
                 }
             }
         }
+        ex_jitter.fill(
+            cfg.params.jitter.sigma,
+            cfg.seed,
+            EXCHANGE_JITTER_LABEL,
+            2 * step as u64,
+            exchange_jitter_draws(&headers),
+        );
         resolve_exchange_into(
             &cfg.params,
             &cfg.placement,
             &headers,
             &mut net,
-            &mut rng,
+            &mut ex_jitter,
             &mut ex_scratch,
             &mut r1,
         );
@@ -335,12 +359,19 @@ pub fn run_spmd<P: BspProgram>(
                 }
             })
             .collect();
+        ex_jitter.fill(
+            cfg.params.jitter.sigma,
+            cfg.seed,
+            EXCHANGE_JITTER_LABEL,
+            2 * step as u64 + 1,
+            exchange_jitter_draws(&replies),
+        );
         resolve_exchange_into(
             &cfg.params,
             &cfg.placement,
             &replies,
             &mut net,
-            &mut rng,
+            &mut ex_jitter,
             &mut ex_scratch,
             &mut r2,
         );
@@ -348,12 +379,14 @@ pub fn run_spmd<P: BspProgram>(
         // Phase 3: synchronize.
         let barrier_exit = match &compiled_sync {
             Some(plan) => {
-                sim.run_once_compiled(
+                sim.run_once_batched(
                     plan,
                     &payload,
                     &compute_end,
                     &mut net,
-                    &mut rng,
+                    cfg.seed,
+                    SYNC_JITTER_LABEL,
+                    step as u64,
                     &mut sync_scratch,
                 );
                 sync_scratch.exits().to_vec()

@@ -26,6 +26,16 @@
 use crate::matrix::IMat;
 use crate::pattern::CommPattern;
 
+/// Jitter multipliers the staged executor consumes per signal: the
+/// sender's `o_send`, the wire term, the receiver's `o_recv` and the
+/// acknowledgement — in that order. Part of the draw-order contract the
+/// batched jitter engine sizes its tables by (see DESIGN.md).
+pub const SIGNAL_JITTER_DRAWS: usize = 4;
+
+/// Jitter multipliers the staged executor consumes per process per
+/// stage: the library call overhead at stage entry.
+pub const ENTRY_JITTER_DRAWS: usize = 1;
+
 /// One stage of a pattern in compressed sparse row form, both directions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StagePlan {
@@ -104,6 +114,14 @@ impl StagePlan {
     pub fn edge_count(&self) -> usize {
         self.dsts.len()
     }
+
+    /// Jitter multipliers the staged executor consumes for this stage:
+    /// one call-overhead draw per process plus [`SIGNAL_JITTER_DRAWS`]
+    /// per signal. Every signal draws — self-loop and local signals
+    /// included — so the count is exact, not an upper bound.
+    pub fn jitter_draws(&self) -> usize {
+        self.p * ENTRY_JITTER_DRAWS + self.edge_count() * SIGNAL_JITTER_DRAWS
+    }
 }
 
 /// A staged pattern compiled for flat execution: per-stage CSR adjacency
@@ -122,6 +140,9 @@ pub struct CompiledPattern {
     /// all-MAX; the table has `stages + 1` rows so the final row answers
     /// "before the end of the pattern".
     last_send: Vec<usize>,
+    /// Exact jitter draws one staged execution consumes, precomputed —
+    /// the batched engine sizes its `JitterBuf` from this.
+    jitter_draws: usize,
 }
 
 impl CompiledPattern {
@@ -150,12 +171,14 @@ impl CompiledPattern {
                 last_send[(s + 1) * p + i] = if stages[s].out_degree(i) > 0 { s } else { prev };
             }
         }
+        let jitter_draws = stages.iter().map(StagePlan::jitter_draws).sum();
         CompiledPattern {
             name: pattern.name().to_string(),
             p,
             stages,
             posted,
             last_send,
+            jitter_draws,
         }
     }
 
@@ -182,6 +205,17 @@ impl CompiledPattern {
     /// Total signal count across all stages.
     pub fn total_signals(&self) -> usize {
         self.stages.iter().map(StagePlan::edge_count).sum()
+    }
+
+    /// Exact jitter multipliers one staged execution (one repetition)
+    /// consumes: per stage, [`ENTRY_JITTER_DRAWS`] per process plus
+    /// [`SIGNAL_JITTER_DRAWS`] per signal slot. The batched engine
+    /// allocates and fills its table from this number and the audit
+    /// tests assert the executor consumes exactly it — a silent
+    /// divergence between plan and engine trips either the test or the
+    /// buffer's bounds check.
+    pub fn jitter_draws(&self) -> usize {
+        self.jitter_draws
     }
 
     /// True when rank `j` is known to be awaiting signals at stage `s` —
@@ -280,6 +314,22 @@ mod tests {
         assert!(plan.is_posted(0, 2));
         assert!(plan.is_posted(1, 2));
         assert!(!plan.is_posted(2, 2));
+    }
+
+    #[test]
+    fn jitter_draw_count_sums_entries_and_signals() {
+        let pat = dissemination(13);
+        let plan = CompiledPattern::compile(&pat);
+        let mut want = 0;
+        for s in 0..plan.stages() {
+            let stage = plan.stage(s);
+            let stage_want = 13 * ENTRY_JITTER_DRAWS + stage.edge_count() * SIGNAL_JITTER_DRAWS;
+            assert_eq!(stage.jitter_draws(), stage_want, "stage {s}");
+            want += stage_want;
+        }
+        assert_eq!(plan.jitter_draws(), want);
+        // Dissemination: every rank signals once per stage.
+        assert_eq!(want, plan.stages() * (13 + 13 * SIGNAL_JITTER_DRAWS));
     }
 
     #[test]

@@ -14,15 +14,38 @@
 //! performs zero heap allocations per repetition. The generic
 //! [`BarrierSim::run_once`]/[`BarrierSim::run_total`] wrappers keep the
 //! old one-shot API for callers off the hot path.
+//!
+//! Stochastics come in through a [`JitterSource`]: the `*_compiled`
+//! entry points accept any source, and the `*_batched` entry points
+//! batch-fill the scratch's [`JitterBuf`] with exactly
+//! [`CompiledPattern::jitter_draws`] multipliers from a counter-based
+//! stream keyed by `(seed, label, rep)` before executing — the stage
+//! loop then touches no RNG at all. [`BarrierSim::measure`] goes one
+//! step further and runs repetitions in SoA lanes on the
+//! [`crate::batch::LaneScratch`] executor; because every repetition's
+//! multipliers come from its own `(seed, rep)` stream, the samples are
+//! identical however repetitions are grouped into lanes or threads.
 
+use crate::batch::LaneScratch;
 use crate::net::NetState;
 use crate::params::PlatformParams;
 use hpm_core::pattern::CommPattern;
 use hpm_core::plan::CompiledPattern;
 use hpm_core::predictor::PayloadSchedule;
-use hpm_stats::rng::derive_rng;
+use hpm_stats::rng::{JitterBuf, JitterSource, ScalarJitter};
 use hpm_topology::Placement;
 use rand::rngs::StdRng;
+
+/// Stream label of the staged barrier executor's jitter tables: every
+/// repetition `r` of a measurement with seed `s` fills from the stream
+/// `(s, BARRIER_JITTER_LABEL, r)`, whether it runs scalar-batched or as
+/// one lane of the SoA executor.
+pub const BARRIER_JITTER_LABEL: u64 = 0x4241_5252; // "BARR"
+
+/// Lanes per batch of [`BarrierSim::measure`]. A tuning knob, not a
+/// contract: samples are bit-identical for any lane width because each
+/// repetition owns its `(seed, rep)` jitter stream.
+pub const MEASURE_LANES: usize = 8;
 
 /// Aggregated timings of repeated barrier executions.
 #[derive(Debug, Clone)]
@@ -69,6 +92,9 @@ pub struct SimScratch {
     posted: Vec<f64>,
     /// Per-process latest inbound-signal processing time within one stage.
     last_arrival: Vec<f64>,
+    /// Jitter table of the `*_batched` entry points, refilled per run
+    /// (the allocation is reused across fills).
+    jitter: JitterBuf,
 }
 
 impl SimScratch {
@@ -80,12 +106,20 @@ impl SimScratch {
             nxt: vec![0.0; p],
             posted: vec![0.0; p],
             last_arrival: vec![0.0; p],
+            jitter: JitterBuf::new(),
         }
     }
 
     /// Per-process exit times of the most recent run.
     pub fn exits(&self) -> &[f64] {
         &self.cur
+    }
+
+    /// The jitter table of the most recent `*_batched` run — lets audit
+    /// tests compare [`JitterBuf::consumed`] against the plan's
+    /// reported draw count.
+    pub fn jitter(&self) -> &JitterBuf {
+        &self.jitter
     }
 }
 
@@ -120,52 +154,84 @@ impl<'a> BarrierSim<'a> {
     ) -> Vec<f64> {
         let plan = pattern.plan();
         let mut scratch = SimScratch::new(self.placement);
-        self.run_once_compiled(&plan, payload, entry, net, rng, &mut scratch);
+        let mut jit = ScalarJitter::new(self.params.jitter, rng);
+        self.run_once_compiled(&plan, payload, entry, net, &mut jit, &mut scratch);
         scratch.exits().to_vec()
     }
 
     /// Runs one execution of a compiled pattern from per-process entry
     /// times, entirely within `scratch`; read the exit times from
     /// [`SimScratch::exits`]. Performs no heap allocation.
-    pub fn run_once_compiled(
+    pub fn run_once_compiled<J: JitterSource>(
         &self,
         plan: &CompiledPattern,
         payload: &PayloadSchedule,
         entry: &[f64],
         net: &mut NetState,
-        rng: &mut StdRng,
+        jit: &mut J,
         scratch: &mut SimScratch,
     ) {
         let p = plan.p();
         assert_eq!(entry.len(), p, "entry vector length");
         scratch.cur.copy_from_slice(entry);
-        self.run_stages(plan, payload, net, rng, scratch);
+        self.run_stages(plan, payload, net, jit, scratch);
+    }
+
+    /// [`BarrierSim::run_once_compiled`] on the batched jitter engine:
+    /// fills the scratch's [`JitterBuf`] with the plan's exact draw
+    /// count from the stream `(seed, label, rep)` and executes over it —
+    /// the stage loop consumes multipliers by cursor only. Callers own
+    /// the stream naming: the BSPlib sync labels per run and uses the
+    /// superstep index as `rep`, the measurement loop uses
+    /// [`BARRIER_JITTER_LABEL`] and the repetition index.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_once_batched(
+        &self,
+        plan: &CompiledPattern,
+        payload: &PayloadSchedule,
+        entry: &[f64],
+        net: &mut NetState,
+        seed: u64,
+        label: u64,
+        rep: u64,
+        scratch: &mut SimScratch,
+    ) {
+        let mut jit = std::mem::take(&mut scratch.jitter);
+        jit.fill(
+            self.params.jitter.sigma,
+            seed,
+            label,
+            rep,
+            plan.jitter_draws(),
+        );
+        self.run_once_compiled(plan, payload, entry, net, &mut jit, scratch);
+        scratch.jitter = jit;
     }
 
     /// Stage loop shared by the compiled entry points; expects the entry
     /// times in `scratch.cur` and leaves the final exits there.
-    fn run_stages(
+    fn run_stages<J: JitterSource>(
         &self,
         plan: &CompiledPattern,
         payload: &PayloadSchedule,
         net: &mut NetState,
-        rng: &mut StdRng,
+        jit: &mut J,
         scratch: &mut SimScratch,
     ) {
         assert_eq!(self.placement.nprocs(), plan.p(), "placement process count");
         for s in 0..plan.stages() {
-            self.run_stage(plan, payload, s, net, rng, scratch);
+            self.run_stage(plan, payload, s, net, jit, scratch);
             std::mem::swap(&mut scratch.cur, &mut scratch.nxt);
         }
     }
 
-    fn run_stage(
+    fn run_stage<J: JitterSource>(
         &self,
         plan: &CompiledPattern,
         payload: &PayloadSchedule,
         s: usize,
         net: &mut NetState,
-        rng: &mut StdRng,
+        jit: &mut J,
         scratch: &mut SimScratch,
     ) {
         let p = plan.p();
@@ -176,11 +242,12 @@ impl<'a> BarrierSim<'a> {
             nxt,
             posted,
             last_arrival,
+            ..
         } = scratch;
         // Every process calls into the library: posted time = entry + call
         // overhead; from then on its receives are posted.
         for (post, &e) in posted.iter_mut().zip(cur.iter()) {
-            *post = e + self.params.call_overhead * self.params.jitter.draw(rng);
+            *post = e + self.params.call_overhead * jit.next_mult();
         }
         nxt.copy_from_slice(posted);
         // last_arrival[j] accumulates processing times of j's inbound
@@ -192,7 +259,7 @@ impl<'a> BarrierSim<'a> {
                 let (ack, processed) = net.signal_round_trip(
                     self.params,
                     self.placement,
-                    rng,
+                    jit,
                     i,
                     j,
                     t,
@@ -226,7 +293,8 @@ impl<'a> BarrierSim<'a> {
     ) -> f64 {
         let mut net = NetState::new(self.placement);
         let mut scratch = SimScratch::new(self.placement);
-        self.run_total_compiled(&pattern.plan(), payload, rng, &mut net, &mut scratch)
+        let mut jit = ScalarJitter::new(self.params.jitter, rng);
+        self.run_total_compiled(&pattern.plan(), payload, &mut jit, &mut net, &mut scratch)
     }
 
     /// One complete run of a compiled pattern from a cold start over
@@ -235,17 +303,17 @@ impl<'a> BarrierSim<'a> {
     /// indistinguishable from a fresh one), so repetitions reusing one
     /// `(net, scratch)` pair are bit-identical to cold-state runs —
     /// and allocation-free.
-    pub fn run_total_compiled(
+    pub fn run_total_compiled<J: JitterSource>(
         &self,
         plan: &CompiledPattern,
         payload: &PayloadSchedule,
-        rng: &mut StdRng,
+        jit: &mut J,
         net: &mut NetState,
         scratch: &mut SimScratch,
     ) -> f64 {
         net.reset();
         scratch.cur.fill(0.0);
-        self.run_stages(plan, payload, net, rng, scratch);
+        self.run_stages(plan, payload, net, jit, scratch);
         scratch
             .exits()
             .iter()
@@ -253,14 +321,47 @@ impl<'a> BarrierSim<'a> {
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
-    /// Repeated runs with independent jitter streams.
+    /// [`BarrierSim::run_total_compiled`] on the batched jitter engine:
+    /// one cold-start repetition whose multipliers fill from the stream
+    /// `(seed, BARRIER_JITTER_LABEL, rep)`. Repetition `rep` of this
+    /// entry point is bit-identical to lane `rep - first_rep` of
+    /// [`BarrierSim::run_batch_compiled`] — the lane executor performs
+    /// the same arithmetic on the same multipliers, just strided.
+    pub fn run_total_batched(
+        &self,
+        plan: &CompiledPattern,
+        payload: &PayloadSchedule,
+        seed: u64,
+        rep: u64,
+        net: &mut NetState,
+        scratch: &mut SimScratch,
+    ) -> f64 {
+        let mut jit = std::mem::take(&mut scratch.jitter);
+        jit.fill(
+            self.params.jitter.sigma,
+            seed,
+            BARRIER_JITTER_LABEL,
+            rep,
+            plan.jitter_draws(),
+        );
+        let total = self.run_total_compiled(plan, payload, &mut jit, net, scratch);
+        scratch.jitter = jit;
+        total
+    }
+
+    /// Repeated runs with independent jitter streams, in SoA lanes.
     ///
-    /// Every repetition derives its own RNG stream from `(seed, rep)` and
-    /// runs on a cold network, so repetitions are independent and the
-    /// fan-out over [`hpm_par::par_map_indexed_with`] returns samples
-    /// bit-identical to a serial loop at any thread count. The pattern is
-    /// compiled once and each worker carries one `(NetState, SimScratch)`
-    /// pair across its repetitions, so a repetition allocates nothing.
+    /// Repetitions execute [`MEASURE_LANES`] at a time on the
+    /// lane-parallel executor: each batch fills one draw-major jitter
+    /// table (lane `l` from the stream `(seed, BARRIER_JITTER_LABEL,
+    /// rep)`) in a single tight pass and then runs every lane's
+    /// repetition simultaneously over SoA state. Because a repetition's
+    /// multipliers depend only on `(seed, rep)` and the per-lane
+    /// arithmetic is the scalar recurrence verbatim, the samples are
+    /// bit-identical to one-at-a-time [`BarrierSim::run_total_batched`]
+    /// runs — at any lane width and any [`hpm_par`] thread count. The
+    /// pattern is compiled once and each worker carries one
+    /// [`LaneScratch`] across its batches.
     pub fn measure<P: CommPattern + ?Sized + Sync>(
         &self,
         pattern: &P,
@@ -269,20 +370,16 @@ impl<'a> BarrierSim<'a> {
         seed: u64,
     ) -> BarrierMeasurement {
         let plan = pattern.plan();
-        let samples = hpm_par::par_map_indexed_with(
-            reps,
-            || {
-                (
-                    NetState::new(self.placement),
-                    SimScratch::new(self.placement),
-                )
-            },
-            |(net, scratch), r| {
-                let mut rng = derive_rng(seed, r as u64);
-                self.run_total_compiled(&plan, payload, &mut rng, net, scratch)
-            },
-        );
-        BarrierMeasurement { samples }
+        let batches = reps.div_ceil(MEASURE_LANES);
+        let chunks = hpm_par::par_map_indexed_with(batches, LaneScratch::new, |scratch, b| {
+            let first = b * MEASURE_LANES;
+            let lanes = MEASURE_LANES.min(reps - first);
+            self.run_batch_compiled(&plan, payload, seed, first as u64, lanes, scratch)
+                .to_vec()
+        });
+        BarrierMeasurement {
+            samples: chunks.concat(),
+        }
     }
 }
 
@@ -292,6 +389,7 @@ mod tests {
     use crate::params::xeon_cluster_params;
     use hpm_core::matrix::IMat;
     use hpm_core::pattern::BarrierPattern;
+    use hpm_stats::rng::derive_rng;
     use hpm_topology::{cluster_8x2x4, PlacementPolicy};
 
     fn linear(p: usize) -> BarrierPattern {

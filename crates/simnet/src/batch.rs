@@ -1,0 +1,436 @@
+//! The lane-parallel repetition executor: L independent barrier
+//! repetitions advanced together over structure-of-arrays state.
+//!
+//! A measurement is hundreds of repetitions of the same compiled
+//! pattern, differing only in their jitter multipliers. The scalar
+//! executor walks them one at a time, paying the full pattern traversal
+//! (stage bookkeeping, CSR walks, link-class lookups) per repetition.
+//! This executor amortizes the traversal: every per-process time in
+//! [`crate::barrier::SimScratch`] becomes a *lane vector* of L values
+//! (`state[i·L + l]` = rank `i` in repetition `l`), the pattern is
+//! walked once per batch, and each edge updates all L lanes in a short
+//! contiguous loop of identical straight-line arithmetic — exactly the
+//! shape compilers auto-vectorize.
+//!
+//! The jitter table is draw-major SoA too: row `d` holds draw `d` of
+//! every lane, filled lane-by-lane from the per-repetition streams
+//! `(seed, BARRIER_JITTER_LABEL, first_rep + l)` in one batch pass
+//! (amortizing the transcendental work that dominated the scalar
+//! stochastic path), then consumed row-by-row in executor order.
+//!
+//! Two equivalences pin the engine down (see the tests here and in
+//! `tests/parallel_determinism.rs`):
+//!
+//! * per lane, the arithmetic is the scalar recurrence *verbatim* — so
+//!   lane `l` of a batch is bit-identical to the one-at-a-time
+//!   [`crate::barrier::BarrierSim::run_total_batched`] run of repetition
+//!   `first_rep + l`, for every lane width;
+//! * with jitter disabled every multiplier is exactly 1.0 and the
+//!   recurrence collapses to the noiseless scalar path bit-for-bit —
+//!   the flat core's noiseless goldens do not move.
+
+use crate::barrier::{BarrierSim, BARRIER_JITTER_LABEL};
+use crate::params::PlatformParams;
+use hpm_core::plan::CompiledPattern;
+use hpm_core::predictor::PayloadSchedule;
+use hpm_stats::rng::JitterBuf;
+use hpm_topology::LinkClass;
+
+/// SoA scratch of the lane executor: per-(rank, lane) stage times,
+/// per-(node, lane) NIC queues, per-(rank, lane) receive queues, the
+/// batch jitter table and the per-lane totals. One scratch serves any
+/// pattern/lane-width; buffers grow to the high-water mark and are then
+/// reused allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct LaneScratch {
+    /// Stage entry times; final exits after a run.
+    cur: Vec<f64>,
+    /// Stage exit times being accumulated.
+    nxt: Vec<f64>,
+    /// Library-posted times within one stage.
+    posted: Vec<f64>,
+    /// Latest inbound-signal processing times within one stage.
+    last_arrival: Vec<f64>,
+    /// Per-lane acknowledgement chain of the rank currently sending.
+    acks: Vec<f64>,
+    /// Per-(node, lane) NIC egress availability.
+    nic_free: Vec<f64>,
+    /// Per-(rank, lane) receive-processing availability.
+    recv_busy: Vec<f64>,
+    /// Draw-major jitter table.
+    jitter: JitterBuf,
+    /// Per-lane worst-case completion times of the last batch.
+    totals: Vec<f64>,
+}
+
+impl LaneScratch {
+    /// An empty scratch; the first run sizes it.
+    pub fn new() -> LaneScratch {
+        LaneScratch::default()
+    }
+
+    /// Per-lane totals of the most recent batch.
+    pub fn totals(&self) -> &[f64] {
+        &self.totals
+    }
+
+    /// The jitter table of the most recent batch — lets audit tests
+    /// compare consumed rows against the plan's reported draw count.
+    pub fn jitter(&self) -> &JitterBuf {
+        &self.jitter
+    }
+
+    fn ensure(&mut self, p: usize, nodes: usize, lanes: usize) {
+        let grow = |v: &mut Vec<f64>, n: usize| {
+            if v.len() < n {
+                v.resize(n, 0.0);
+            }
+        };
+        grow(&mut self.cur, p * lanes);
+        grow(&mut self.nxt, p * lanes);
+        grow(&mut self.posted, p * lanes);
+        grow(&mut self.last_arrival, p * lanes);
+        grow(&mut self.acks, lanes);
+        grow(&mut self.nic_free, nodes * lanes);
+        grow(&mut self.recv_busy, p * lanes);
+        grow(&mut self.totals, lanes);
+    }
+}
+
+impl BarrierSim<'_> {
+    /// Runs `lanes` cold-start repetitions of a compiled pattern
+    /// simultaneously, repetition `first_rep + l` in lane `l`; returns
+    /// the per-lane worst-case completion times (also available from
+    /// [`LaneScratch::totals`]).
+    ///
+    /// Sample `l` is bit-identical to
+    /// `run_total_batched(plan, payload, seed, first_rep + l, ..)` —
+    /// lane width and batch grouping are invisible in the numbers.
+    pub fn run_batch_compiled<'s>(
+        &self,
+        plan: &CompiledPattern,
+        payload: &PayloadSchedule,
+        seed: u64,
+        first_rep: u64,
+        lanes: usize,
+        scratch: &'s mut LaneScratch,
+    ) -> &'s [f64] {
+        let p = plan.p();
+        assert_eq!(self.placement.nprocs(), p, "placement process count");
+        assert!(lanes >= 1, "at least one lane");
+        let nodes = self.placement.shape().nodes();
+        scratch.ensure(p, nodes, lanes);
+        scratch.jitter.fill_lanes(
+            self.params.jitter.sigma,
+            seed,
+            BARRIER_JITTER_LABEL,
+            first_rep,
+            lanes,
+            plan.jitter_draws(),
+        );
+        let LaneScratch {
+            cur,
+            nxt,
+            posted,
+            last_arrival,
+            acks,
+            nic_free,
+            recv_busy,
+            jitter,
+            totals,
+        } = scratch;
+        let el = p * lanes;
+        cur[..el].fill(0.0);
+        nic_free[..nodes * lanes].fill(0.0);
+        recv_busy[..el].fill(0.0);
+
+        for s in 0..plan.stages() {
+            run_stage_lanes(
+                self.params,
+                self.placement,
+                plan,
+                payload,
+                s,
+                lanes,
+                (cur, nxt, posted, last_arrival, acks),
+                (nic_free, recv_busy),
+                jitter,
+            );
+            std::mem::swap(cur, nxt);
+        }
+
+        for l in 0..lanes {
+            let mut worst = f64::NEG_INFINITY;
+            for i in 0..p {
+                worst = worst.max(cur[i * lanes + l]);
+            }
+            totals[l] = worst;
+        }
+        &scratch.totals[..lanes]
+    }
+}
+
+/// The stage-time lane vectors handed to [`run_stage_lanes`]:
+/// `(cur, nxt, posted, last_arrival, acks)`.
+type StageLanes<'a> = (
+    &'a mut [f64],
+    &'a mut [f64],
+    &'a mut [f64],
+    &'a mut [f64],
+    &'a mut [f64],
+);
+
+/// One stage over all lanes: the scalar stage recurrence with every
+/// per-process scalar widened to a lane vector. Multiplier rows are
+/// consumed in the scalar executor's draw order (entry draws in rank
+/// order, then per rank per edge the `o_send`/wire/`o_recv`/ack
+/// quadruple), so the cursor position per lane matches the single-lane
+/// fill exactly.
+#[allow(clippy::too_many_arguments)]
+fn run_stage_lanes(
+    params: &PlatformParams,
+    placement: &hpm_topology::Placement,
+    plan: &CompiledPattern,
+    payload: &PayloadSchedule,
+    s: usize,
+    lanes: usize,
+    (cur, nxt, posted, last_arrival, acks): StageLanes<'_>,
+    (nic_free, recv_busy): (&mut [f64], &mut [f64]),
+    jitter: &mut JitterBuf,
+) {
+    let p = plan.p();
+    let stage = plan.stage(s);
+    let bytes = payload.bytes(s);
+    let el = p * lanes;
+    // Library call: posted = entry + call overhead, per rank per lane.
+    for i in 0..p {
+        let m = jitter.rows(1);
+        let base = i * lanes;
+        for l in 0..lanes {
+            posted[base + l] = cur[base + l] + params.call_overhead * m[l];
+        }
+    }
+    nxt[..el].copy_from_slice(&posted[..el]);
+    last_arrival[..el].fill(f64::NEG_INFINITY);
+    for i in 0..p {
+        acks[..lanes].copy_from_slice(&posted[i * lanes..(i + 1) * lanes]);
+        for &j in stage.dsts(i) {
+            let link = placement.link(i, j);
+            let lc = params.link(link);
+            let wire_base = lc.latency + bytes as f64 * lc.inv_bandwidth;
+            let ms = jitter.rows(4);
+            let (m_send, rest) = ms.split_at(lanes);
+            let (m_wire, rest) = rest.split_at(lanes);
+            let (m_recv, m_ack) = rest.split_at(lanes);
+            let (posted_j, rb, la) = (
+                &posted[j * lanes..(j + 1) * lanes],
+                &mut recv_busy[j * lanes..],
+                &mut last_arrival[j * lanes..],
+            );
+            if link == LinkClass::Remote {
+                let node = placement.node_of(i);
+                let nf = &mut nic_free[node * lanes..];
+                for l in 0..lanes {
+                    let send_done = acks[l] + lc.o_send * m_send[l];
+                    let dep = send_done.max(nf[l]);
+                    nf[l] = dep + params.nic_gap;
+                    let arrival = dep + wire_base * m_wire[l];
+                    let proc_start = if arrival < posted_j[l] {
+                        posted_j[l] + params.unexpected_penalty
+                    } else {
+                        arrival
+                    };
+                    let processed = proc_start.max(rb[l]) + lc.o_recv * m_recv[l];
+                    rb[l] = processed;
+                    if processed > la[l] {
+                        la[l] = processed;
+                    }
+                    acks[l] = processed + lc.latency * params.ack_factor * m_ack[l];
+                }
+            } else {
+                for l in 0..lanes {
+                    let send_done = acks[l] + lc.o_send * m_send[l];
+                    let arrival = send_done + wire_base * m_wire[l];
+                    let proc_start = if arrival < posted_j[l] {
+                        posted_j[l] + params.unexpected_penalty
+                    } else {
+                        arrival
+                    };
+                    let processed = proc_start.max(rb[l]) + lc.o_recv * m_recv[l];
+                    rb[l] = processed;
+                    if processed > la[l] {
+                        la[l] = processed;
+                    }
+                    acks[l] = processed + lc.latency * params.ack_factor * m_ack[l];
+                }
+            }
+        }
+        let base = i * lanes;
+        for l in 0..lanes {
+            if acks[l] > nxt[base + l] {
+                nxt[base + l] = acks[l];
+            }
+        }
+    }
+    for je in 0..el {
+        if last_arrival[je] > nxt[je] {
+            nxt[je] = last_arrival[je];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barrier::SimScratch;
+    use crate::net::NetState;
+    use crate::params::xeon_cluster_params;
+    use hpm_core::matrix::IMat;
+    use hpm_core::pattern::{BarrierPattern, CommPattern};
+    use hpm_stats::rng::{derive_rng, ScalarJitter};
+    use hpm_topology::{cluster_8x2x4, Placement, PlacementPolicy};
+
+    fn dissemination(p: usize) -> BarrierPattern {
+        let stages = (p as f64).log2().ceil() as usize;
+        let mats = (0..stages)
+            .map(|s| {
+                let edges: Vec<(usize, usize)> = (0..p).map(|i| (i, (i + (1 << s)) % p)).collect();
+                IMat::from_edges(p, &edges)
+            })
+            .collect();
+        BarrierPattern::new("dissemination", p, mats)
+    }
+
+    /// Every lane of a batch equals the one-at-a-time batched run of the
+    /// same repetition — for several lane widths, including widths that
+    /// do not divide the repetition count.
+    #[test]
+    fn lanes_match_single_repetition_runs_bitwise() {
+        let params = xeon_cluster_params();
+        let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 24);
+        let sim = BarrierSim::new(&params, &placement);
+        let plan = dissemination(24).plan();
+        let payload = hpm_core::predictor::PayloadSchedule::dissemination_count_map(24);
+        let mut net = NetState::new(&placement);
+        let mut scalar = SimScratch::new(&placement);
+        let singles: Vec<f64> = (0..12)
+            .map(|r| sim.run_total_batched(&plan, &payload, 77, r, &mut net, &mut scalar))
+            .collect();
+        let mut scratch = LaneScratch::new();
+        for lanes in [1usize, 3, 8, 12] {
+            let mut got = Vec::new();
+            let mut first = 0usize;
+            while first < 12 {
+                let l = lanes.min(12 - first);
+                got.extend_from_slice(sim.run_batch_compiled(
+                    &plan,
+                    &payload,
+                    77,
+                    first as u64,
+                    l,
+                    &mut scratch,
+                ));
+                first += l;
+            }
+            assert_eq!(got, singles, "lane width {lanes}");
+        }
+    }
+
+    /// With jitter off, the lane executor reproduces the scalar compiled
+    /// executor bit for bit — the noiseless path does not move.
+    #[test]
+    fn noiseless_lanes_match_scalar_executor_bitwise() {
+        let params = xeon_cluster_params().noiseless();
+        let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 16);
+        let sim = BarrierSim::new(&params, &placement);
+        let plan = dissemination(16).plan();
+        let payload = hpm_core::predictor::PayloadSchedule::none();
+        let mut net = NetState::new(&placement);
+        let mut scalar = SimScratch::new(&placement);
+        let mut rng = derive_rng(5, 0);
+        let mut jit = ScalarJitter::new(params.jitter, &mut rng);
+        let want = sim.run_total_compiled(&plan, &payload, &mut jit, &mut net, &mut scalar);
+        let mut scratch = LaneScratch::new();
+        let got = sim.run_batch_compiled(&plan, &payload, 5, 0, 4, &mut scratch);
+        assert!(got.iter().all(|&t| t.to_bits() == want.to_bits()));
+    }
+
+    /// Draw-count audit (both engines): the executor consumes exactly
+    /// the draw count the compiled plan reports, per repetition.
+    #[test]
+    fn executor_consumes_exactly_the_plan_reported_draws() {
+        let params = xeon_cluster_params();
+        let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 24);
+        let sim = BarrierSim::new(&params, &placement);
+        let plan = dissemination(24).plan();
+        let payload = hpm_core::predictor::PayloadSchedule::dissemination_count_map(24);
+        // Lane engine: rows consumed == draws, for every lane width.
+        let mut scratch = LaneScratch::new();
+        for lanes in [1usize, 5, 8] {
+            sim.run_batch_compiled(&plan, &payload, 3, 0, lanes, &mut scratch);
+            assert_eq!(
+                scratch.jitter().consumed(),
+                plan.jitter_draws(),
+                "lane width {lanes}"
+            );
+        }
+        // Scalar batched engine: same count.
+        let mut net = NetState::new(&placement);
+        let mut scalar = SimScratch::new(&placement);
+        sim.run_total_batched(&plan, &payload, 3, 0, &mut net, &mut scalar);
+        assert_eq!(scalar.jitter().consumed(), plan.jitter_draws());
+    }
+
+    /// Statistical equivalence: the jittered median tracks the
+    /// noise-free completion time (the log-normal multiplier has median
+    /// 1; the max over processes skews the composite slightly upward).
+    #[test]
+    fn jittered_median_tracks_noise_free_value() {
+        let params = xeon_cluster_params();
+        let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 16);
+        let jittered = BarrierSim::new(&params, &placement);
+        let noiseless_params = params.noiseless();
+        let noiseless = BarrierSim::new(&noiseless_params, &placement);
+        let pat = dissemination(16);
+        let payload = hpm_core::predictor::PayloadSchedule::none();
+        let med = jittered.measure(&pat, &payload, 512, 9).median();
+        let base = noiseless.measure(&pat, &payload, 1, 9).samples[0];
+        let rel = (med - base) / base;
+        assert!(
+            (-0.02..0.15).contains(&rel),
+            "median {med} vs noise-free {base} (rel {rel})"
+        );
+    }
+
+    /// The old (scalar Box-Muller) and new (batched inverse-CDF) jitter
+    /// engines describe the same physics: mean completion times agree
+    /// within sampling tolerance.
+    #[test]
+    fn batched_and_scalar_measurements_agree_statistically() {
+        let params = xeon_cluster_params();
+        let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 16);
+        let sim = BarrierSim::new(&params, &placement);
+        let pat = dissemination(16);
+        let payload = hpm_core::predictor::PayloadSchedule::none();
+        let reps = 768;
+        let batched = sim.measure(&pat, &payload, reps, 11).mean();
+        // The scalar path, as PR 4's measure ran it: one derived StdRng
+        // per repetition through the compiled executor.
+        let plan = pat.plan();
+        let mut net = NetState::new(&placement);
+        let mut scratch = SimScratch::new(&placement);
+        let scalar_samples: Vec<f64> = (0..reps)
+            .map(|r| {
+                let mut rng = derive_rng(11, r as u64);
+                let mut jit = ScalarJitter::new(params.jitter, &mut rng);
+                sim.run_total_compiled(&plan, &payload, &mut jit, &mut net, &mut scratch)
+            })
+            .collect();
+        let scalar = hpm_stats::mean(&scalar_samples);
+        let rel = (batched - scalar).abs() / scalar;
+        assert!(
+            rel < 0.02,
+            "batched mean {batched} vs scalar mean {scalar} (rel {rel})"
+        );
+    }
+}

@@ -10,8 +10,21 @@
 
 use crate::net::NetState;
 use crate::params::PlatformParams;
+use hpm_stats::rng::JitterSource;
 use hpm_topology::Placement;
-use rand::rngs::StdRng;
+
+/// Jitter multipliers one non-self [`NetState::transfer`] consumes: the
+/// sender's `o_send`, the wire term and the receiver's `o_recv`. Self
+/// messages draw nothing (pure bandwidth, no transport).
+pub const TRANSFER_JITTER_DRAWS: usize = 3;
+
+/// Exact jitter draws [`resolve_exchange`] consumes for `msgs`:
+/// [`TRANSFER_JITTER_DRAWS`] per message with distinct endpoints. The
+/// batched callers size their `JitterBuf` fills by this; the audit tests
+/// pin the equality.
+pub fn exchange_jitter_draws(msgs: &[ExchangeMsg]) -> usize {
+    msgs.iter().filter(|m| m.src != m.dst).count() * TRANSFER_JITTER_DRAWS
+}
 
 /// One committed one-sided message.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,16 +72,16 @@ pub struct ExchangeResult {
 ///
 /// One-shot convenience over [`resolve_exchange_into`], allocating the
 /// result and scratch per call.
-pub fn resolve_exchange(
+pub fn resolve_exchange<J: JitterSource>(
     params: &PlatformParams,
     placement: &Placement,
     msgs: &[ExchangeMsg],
     net: &mut NetState,
-    rng: &mut StdRng,
+    jit: &mut J,
 ) -> ExchangeResult {
     let mut scratch = ExchangeScratch::default();
     let mut out = ExchangeResult::default();
-    resolve_exchange_into(params, placement, msgs, net, rng, &mut scratch, &mut out);
+    resolve_exchange_into(params, placement, msgs, net, jit, &mut scratch, &mut out);
     out
 }
 
@@ -82,12 +95,12 @@ pub fn resolve_exchange(
 /// by `(issue, input index)`, which the sorted fast path preserves
 /// because equal issues keep input order either way.
 #[allow(clippy::too_many_arguments)]
-pub fn resolve_exchange_into(
+pub fn resolve_exchange_into<J: JitterSource>(
     params: &PlatformParams,
     placement: &Placement,
     msgs: &[ExchangeMsg],
     net: &mut NetState,
-    rng: &mut StdRng,
+    jit: &mut J,
     scratch: &mut ExchangeScratch,
     out: &mut ExchangeResult,
 ) {
@@ -100,10 +113,10 @@ pub fn resolve_exchange_into(
     out.last_in.resize(p, 0.0);
     out.last_out.clear();
     out.last_out.resize(p, 0.0);
-    let mut step = |idx: usize, net: &mut NetState, rng: &mut StdRng| {
+    let mut step = |idx: usize, net: &mut NetState, jit: &mut J| {
         let m = &msgs[idx];
         assert!(m.src < p && m.dst < p, "message endpoints out of range");
-        let (cpu, done) = net.transfer(params, placement, rng, m.src, m.dst, m.bytes, m.issue);
+        let (cpu, done) = net.transfer(params, placement, jit, m.src, m.dst, m.bytes, m.issue);
         out.processed[idx] = done;
         out.send_done[idx] = cpu;
         if done > out.last_in[m.dst] {
@@ -115,7 +128,7 @@ pub fn resolve_exchange_into(
     };
     if msgs.windows(2).all(|w| w[0].issue <= w[1].issue) {
         for idx in 0..msgs.len() {
-            step(idx, net, rng);
+            step(idx, net, jit);
         }
     } else {
         scratch.order.clear();
@@ -128,7 +141,7 @@ pub fn resolve_exchange_into(
                 .then(a.cmp(&b))
         });
         for &idx in &scratch.order {
-            step(idx, net, rng);
+            step(idx, net, jit);
         }
     }
 }
@@ -137,7 +150,7 @@ pub fn resolve_exchange_into(
 mod tests {
     use super::*;
     use crate::params::xeon_cluster_params;
-    use hpm_stats::rng::derive_rng;
+    use hpm_stats::rng::{derive_rng, ScalarJitter};
     use hpm_topology::{cluster_8x2x4, Placement, PlacementPolicy};
 
     fn setup(n: usize) -> (PlatformParams, Placement) {
@@ -152,7 +165,8 @@ mod tests {
         let (params, placement) = setup(8);
         let mut net = NetState::new(&placement);
         let mut rng = derive_rng(1, 0);
-        let r = resolve_exchange(&params, &placement, &[], &mut net, &mut rng);
+        let mut jit_rng = ScalarJitter::new(params.jitter, &mut rng);
+        let r = resolve_exchange(&params, &placement, &[], &mut net, &mut jit_rng);
         assert!(r.processed.is_empty());
         assert!(r.last_in.iter().all(|&t| t == 0.0));
     }
@@ -164,13 +178,14 @@ mod tests {
         let (params, placement) = setup(16);
         let mut net = NetState::new(&placement);
         let mut rng = derive_rng(2, 0);
+        let mut jit_rng = ScalarJitter::new(params.jitter, &mut rng);
         let msgs = [ExchangeMsg {
             src: 0,
             dst: 1,
             bytes: 10_000,
             issue: 0.0,
         }];
-        let r = resolve_exchange(&params, &placement, &msgs, &mut net, &mut rng);
+        let r = resolve_exchange(&params, &placement, &msgs, &mut net, &mut jit_rng);
         assert!(r.processed[0] < 1e-3, "10 kB must land within 1 ms");
         assert!(r.send_done[0] < r.processed[0]);
     }
@@ -180,6 +195,7 @@ mod tests {
         let (params, placement) = setup(16);
         let mut net = NetState::new(&placement);
         let mut rng = derive_rng(3, 0);
+        let mut jit_rng = ScalarJitter::new(params.jitter, &mut rng);
         let msgs = [
             ExchangeMsg {
                 src: 0,
@@ -194,7 +210,7 @@ mod tests {
                 issue: 0.0,
             },
         ];
-        let r = resolve_exchange(&params, &placement, &msgs, &mut net, &mut rng);
+        let r = resolve_exchange(&params, &placement, &msgs, &mut net, &mut jit_rng);
         assert_eq!(
             r.last_in[3],
             r.processed.iter().copied().fold(0.0, f64::max)
@@ -207,6 +223,7 @@ mod tests {
         let (params, placement) = setup(16);
         let mut net = NetState::new(&placement);
         let mut rng = derive_rng(8, 0);
+        let mut jit_rng = ScalarJitter::new(params.jitter, &mut rng);
         let msgs = [
             ExchangeMsg {
                 src: 0,
@@ -227,7 +244,7 @@ mod tests {
                 issue: 0.0,
             },
         ];
-        let r = resolve_exchange(&params, &placement, &msgs, &mut net, &mut rng);
+        let r = resolve_exchange(&params, &placement, &msgs, &mut net, &mut jit_rng);
         assert_eq!(r.last_out[0], r.send_done[0].max(r.send_done[1]));
         assert_eq!(r.last_out[2], r.send_done[2]);
         assert_eq!(r.last_out[3], 0.0, "pure receivers have no send tail");
@@ -244,6 +261,7 @@ mod tests {
         let (params, placement) = setup(16);
         let mut net = NetState::new(&placement);
         let mut rng = derive_rng(4, 0);
+        let mut jit_rng = ScalarJitter::new(params.jitter, &mut rng);
         let msgs = [
             ExchangeMsg {
                 src: 0,
@@ -258,7 +276,7 @@ mod tests {
                 issue: 0.0,
             },
         ];
-        let r = resolve_exchange(&params, &placement, &msgs, &mut net, &mut rng);
+        let r = resolve_exchange(&params, &placement, &msgs, &mut net, &mut jit_rng);
         assert!(r.processed[1] > r.processed[0]);
     }
 
@@ -301,15 +319,17 @@ mod tests {
         for (k, msgs) in rounds.iter().enumerate() {
             let mut rng_a = derive_rng(42, k as u64);
             let mut rng_b = derive_rng(42, k as u64);
+            let mut jit_a = ScalarJitter::new(params.jitter, &mut rng_a);
+            let mut jit_b = ScalarJitter::new(params.jitter, &mut rng_b);
             net_a.reset();
             net_b.reset();
-            let fresh = resolve_exchange(&params, &placement, msgs, &mut net_a, &mut rng_a);
+            let fresh = resolve_exchange(&params, &placement, msgs, &mut net_a, &mut jit_a);
             resolve_exchange_into(
                 &params,
                 &placement,
                 msgs,
                 &mut net_b,
-                &mut rng_b,
+                &mut jit_b,
                 &mut scratch,
                 &mut reused,
             );
@@ -349,10 +369,12 @@ mod tests {
         let sorted = [unsorted[1], unsorted[0], unsorted[2]];
         let mut net = NetState::new(&placement);
         let mut rng = derive_rng(9, 0);
-        let a = resolve_exchange(&params, &placement, &unsorted, &mut net, &mut rng);
+        let mut jit_rng = ScalarJitter::new(params.jitter, &mut rng);
+        let a = resolve_exchange(&params, &placement, &unsorted, &mut net, &mut jit_rng);
         net.reset();
         let mut rng = derive_rng(9, 0);
-        let b = resolve_exchange(&params, &placement, &sorted, &mut net, &mut rng);
+        let mut jit_rng = ScalarJitter::new(params.jitter, &mut rng);
+        let b = resolve_exchange(&params, &placement, &sorted, &mut net, &mut jit_rng);
         // Input order differs, so compare per-process aggregates and the
         // permuted per-message times.
         assert_eq!(a.last_in, b.last_in);
@@ -362,11 +384,39 @@ mod tests {
         assert_eq!(a.processed[2], b.processed[2]);
     }
 
+    /// Draw-count audit: the resolver consumes exactly
+    /// [`exchange_jitter_draws`] multipliers from a batch-filled buffer —
+    /// self messages (which draw nothing) included in the message list.
+    #[test]
+    fn resolver_consumes_exactly_reported_draws() {
+        use hpm_stats::rng::{JitterBuf, JitterModel};
+        let (mut params, placement) = setup(16);
+        params.jitter = JitterModel::new(0.05);
+        let msgs: Vec<ExchangeMsg> = (0..14)
+            .map(|k| ExchangeMsg {
+                src: k % 7,
+                dst: (k * 3) % 16, // k = 0 is a self message
+                bytes: 64,
+                issue: 0.0,
+            })
+            .collect();
+        assert!(msgs.iter().any(|m| m.src == m.dst), "need a self message");
+        let draws = exchange_jitter_draws(&msgs);
+        assert_eq!(draws, 13 * TRANSFER_JITTER_DRAWS);
+        let mut buf = JitterBuf::new();
+        buf.fill(params.jitter.sigma, 1, 2, 3, draws);
+        let mut net = NetState::new(&placement);
+        let r = resolve_exchange(&params, &placement, &msgs, &mut net, &mut buf);
+        assert_eq!(buf.consumed(), draws);
+        assert!(r.processed.iter().all(|t| t.is_finite()));
+    }
+
     #[test]
     fn big_transfer_time_is_bandwidth_dominated() {
         let (params, placement) = setup(16);
         let mut net = NetState::new(&placement);
         let mut rng = derive_rng(5, 0);
+        let mut jit_rng = ScalarJitter::new(params.jitter, &mut rng);
         let bytes = 10u64 << 20; // 10 MiB
         let msgs = [ExchangeMsg {
             src: 0,
@@ -374,7 +424,7 @@ mod tests {
             bytes,
             issue: 0.0,
         }];
-        let r = resolve_exchange(&params, &placement, &msgs, &mut net, &mut rng);
+        let r = resolve_exchange(&params, &placement, &msgs, &mut net, &mut jit_rng);
         let expect = bytes as f64 * params.remote.inv_bandwidth;
         assert!(
             (r.processed[0] - expect).abs() / expect < 0.05,

@@ -14,7 +14,11 @@
 //!   the behaviour the Eq. 5.4 factor 2 models;
 //! * the posted-receive fast path: a message reaching a process that is
 //!   already waiting avoids the unexpected-message buffer penalty;
-//! * multiplicative log-normal OS jitter on every timed activity.
+//! * multiplicative log-normal OS jitter on every timed activity,
+//!   delivered either scalar (`StdRng` + Box-Muller) or through the
+//!   batched jitter engine: tables pre-filled to the compiled pattern's
+//!   exact draw count, consumed by cursor, executed over SoA lanes
+//!   ([`batch`]) — see DESIGN.md, "The jitter engine".
 //!
 //! On top of the raw message engine sit the Fig. 5.5 staged barrier
 //! executor ([`barrier`]), the §5.6.3 platform microbenchmarks
@@ -25,14 +29,17 @@
 //! one-sided communication.
 
 pub mod barrier;
+pub mod batch;
 pub mod exchange;
 pub mod microbench;
 pub mod net;
 pub mod params;
 
 pub use barrier::{BarrierMeasurement, BarrierSim, SimScratch};
+pub use batch::LaneScratch;
 pub use exchange::{
-    resolve_exchange, resolve_exchange_into, ExchangeMsg, ExchangeResult, ExchangeScratch,
+    exchange_jitter_draws, resolve_exchange, resolve_exchange_into, ExchangeMsg, ExchangeResult,
+    ExchangeScratch,
 };
 pub use microbench::{bench_platform, MicrobenchConfig, PlatformProfile};
 pub use net::NetState;

@@ -19,11 +19,18 @@ use crate::net::NetState;
 use crate::params::PlatformParams;
 use hpm_core::hockney::HeteroHockney;
 use hpm_core::matrix::DMat;
+use hpm_core::plan::SIGNAL_JITTER_DRAWS;
 use hpm_core::predictor::CommCosts;
 use hpm_stats::quantile::quantile_inplace;
 use hpm_stats::regression::LinearFit;
-use hpm_stats::rng::derive_rng;
+use hpm_stats::rng::{JitterBuf, JitterSource};
 use hpm_topology::Placement;
+
+/// Stream label of the diagonal (`O_i`) units; `rep` is the rank.
+const MICRO_DIAG_LABEL: u64 = 0x4D42_4449; // b"MBDI"
+
+/// Stream label of the ordered-pair units; `rep` is `i*p + j`.
+const MICRO_PAIR_LABEL: u64 = 0x4D42_5052; // b"MBPR"
 
 /// Benchmark dimensions. Thesis values: sample sizes ≥ 25, message sizes
 /// `2^0 … 2^20`.
@@ -71,11 +78,14 @@ pub struct PlatformProfile {
 /// Runs the full §5.6.3 benchmark over all ordered process pairs.
 ///
 /// Every measured unit — a diagonal `O_i` entry or an ordered pair's
-/// `(O_ij, L_ij, β_ij)` triple — derives its own RNG stream from the seed
-/// and its matrix position, so the units are independent and run on the
-/// [`hpm_par`] fan-out with bit-identical results at any thread count.
-/// Each pair unit reuses one per-worker [`NetState`] scratch ([`NetState::reset`]
-/// between pings) and one sample buffer instead of allocating per ping.
+/// `(O_ij, L_ij, β_ij)` triple — batch-fills its own jitter table from
+/// the seed and its matrix position (exact draw count known up front),
+/// so the units are independent and run on the [`hpm_par`] fan-out with
+/// bit-identical results at any thread count, and the sampling loops
+/// consume multipliers by cursor instead of stepping an RNG per draw.
+/// Each pair unit reuses one per-unit [`NetState`] scratch
+/// ([`NetState::reset`] between pings) and one sample buffer instead of
+/// allocating per ping.
 pub fn bench_platform(
     params: &PlatformParams,
     placement: &Placement,
@@ -91,9 +101,16 @@ pub fn bench_platform(
 
     // O_i: median cost of an empty invocation.
     let diag: Vec<f64> = hpm_par::par_map_indexed(p, |i| {
-        let mut rng = derive_rng(seed, 1_000_000 + i as u64);
+        let mut jit = JitterBuf::new();
+        jit.fill(
+            params.jitter.sigma,
+            seed,
+            MICRO_DIAG_LABEL,
+            i as u64,
+            cfg.reps,
+        );
         let mut samples: Vec<f64> = (0..cfg.reps)
-            .map(|_| params.call_overhead * params.jitter.draw(&mut rng))
+            .map(|_| params.call_overhead * jit.next_mult())
             .collect();
         quantile_inplace(&mut samples, 0.5)
     });
@@ -105,10 +122,24 @@ pub fn bench_platform(
         .flat_map(|i| (0..p).filter(move |&j| j != i).map(move |j| (i, j)))
         .collect();
     let triples = hpm_par::par_map_slice(&pairs, |_, &(i, j)| {
-        let mut rng = derive_rng(seed, (i * p + j) as u64);
         // Per-pair scratch, reused across every ping of this unit: one
         // network state (reset to the quiet-network benchmark scenario
-        // between pings) and one sample buffer for the medians.
+        // between pings), one sample buffer for the medians, and one
+        // jitter table filled to the unit's exact draw count — the
+        // request loops draw `reps*(1+k)` multipliers per request count
+        // and every sized ping one signal round trip's worth.
+        let draws: usize = (1..=cfg.max_requests)
+            .map(|k| cfg.reps * (1 + k))
+            .sum::<usize>()
+            + (hi - lo + 1) as usize * cfg.reps * SIGNAL_JITTER_DRAWS;
+        let mut jit = JitterBuf::new();
+        jit.fill(
+            params.jitter.sigma,
+            seed,
+            MICRO_PAIR_LABEL,
+            (i * p + j) as u64,
+            draws,
+        );
         let mut net = NetState::new(placement);
         let mut samples = vec![0.0f64; cfg.reps];
 
@@ -119,9 +150,9 @@ pub fn bench_platform(
         let mut pts = Vec::with_capacity(cfg.max_requests);
         for k in 1..=cfg.max_requests {
             for s in samples.iter_mut() {
-                let mut t = params.call_overhead * params.jitter.draw(&mut rng);
+                let mut t = params.call_overhead * jit.next_mult();
                 for _ in 0..k {
-                    t += lc.o_send * params.jitter.draw(&mut rng);
+                    t += lc.o_send * jit.next_mult();
                 }
                 *s = t;
             }
@@ -138,13 +169,14 @@ pub fn bench_platform(
             for s in samples.iter_mut() {
                 net.reset();
                 let (_, processed) =
-                    net.signal_round_trip(params, placement, &mut rng, i, j, 0.0, bytes, 0.0);
+                    net.signal_round_trip(params, placement, &mut jit, i, j, 0.0, bytes, 0.0);
                 // One-way time: processed at receiver (the ack is
                 // transport-internal and not application-visible).
                 *s = processed;
             }
             size_pts.push((bytes as f64, quantile_inplace(&mut samples, 0.5)));
         }
+        debug_assert!(params.jitter.sigma == 0.0 || jit.consumed() == draws);
         let fit = LinearFit::fit(&size_pts);
         (o_ij, fit.nonneg_intercept(), fit.nonneg_slope())
     });

@@ -18,10 +18,18 @@
 //! messages are handled in a deterministic global order (senders by rank,
 //! sends by destination), a documented approximation of true event order
 //! whose error is bounded by single `o_recv` magnitudes.
+//!
+//! Jitter multipliers arrive through a [`JitterSource`], never drawn
+//! here: scalar callers pass a [`hpm_stats::rng::ScalarJitter`] over
+//! their `StdRng`, hot paths pass a batch-filled
+//! [`hpm_stats::rng::JitterBuf`]. A signal consumes
+//! [`hpm_core::plan::SIGNAL_JITTER_DRAWS`] multipliers, a non-self
+//! transfer [`crate::exchange::TRANSFER_JITTER_DRAWS`] — counts the
+//! batched engine sizes its tables by.
 
 use crate::params::PlatformParams;
+use hpm_stats::rng::JitterSource;
 use hpm_topology::{LinkClass, Placement};
-use rand::rngs::StdRng;
 
 /// Mutable network state: per-node NIC egress availability and per-process
 /// receive-processing availability.
@@ -75,11 +83,11 @@ impl NetState {
     ///
     /// Returns `(ack_at_sender, processed_at_receiver)`.
     #[allow(clippy::too_many_arguments)]
-    pub fn signal_round_trip(
+    pub fn signal_round_trip<J: JitterSource>(
         &mut self,
         params: &PlatformParams,
         placement: &Placement,
-        rng: &mut StdRng,
+        jit: &mut J,
         src: usize,
         dst: usize,
         start: f64,
@@ -87,18 +95,18 @@ impl NetState {
         dst_posted_at: f64,
     ) -> (f64, f64) {
         let lc = params.link(placement.link(src, dst));
-        let send_done = start + lc.o_send * params.jitter.draw(rng);
+        let send_done = start + lc.o_send * jit.next_mult();
         let dep = self.depart(params, placement, src, dst, send_done);
-        let wire = (lc.latency + bytes as f64 * lc.inv_bandwidth) * params.jitter.draw(rng);
+        let wire = (lc.latency + bytes as f64 * lc.inv_bandwidth) * jit.next_mult();
         let arrival = dep + wire;
         let proc_start = if arrival < dst_posted_at {
             dst_posted_at + params.unexpected_penalty
         } else {
             arrival
         };
-        let processed = proc_start.max(self.recv_busy[dst]) + lc.o_recv * params.jitter.draw(rng);
+        let processed = proc_start.max(self.recv_busy[dst]) + lc.o_recv * jit.next_mult();
         self.recv_busy[dst] = processed;
-        let ack = processed + lc.latency * params.ack_factor * params.jitter.draw(rng);
+        let ack = processed + lc.latency * params.ack_factor * jit.next_mult();
         (ack, processed)
     }
 
@@ -108,11 +116,11 @@ impl NetState {
     ///
     /// Returns `(send_cpu_done, processed_at_receiver)`.
     #[allow(clippy::too_many_arguments)]
-    pub fn transfer(
+    pub fn transfer<J: JitterSource>(
         &mut self,
         params: &PlatformParams,
         placement: &Placement,
-        rng: &mut StdRng,
+        jit: &mut J,
         src: usize,
         dst: usize,
         bytes: u64,
@@ -120,17 +128,18 @@ impl NetState {
     ) -> (f64, f64) {
         if src == dst {
             // Local memory move: charged as pure bandwidth on the
-            // same-socket link, no transport.
+            // same-socket link, no transport — and no jitter draws, which
+            // is why the exchange draw count excludes self messages.
             let lc = params.link(LinkClass::SameSocket);
             let done = issue + bytes as f64 * lc.inv_bandwidth;
             return (done, done);
         }
         let lc = params.link(placement.link(src, dst));
-        let send_done = issue + lc.o_send * params.jitter.draw(rng);
+        let send_done = issue + lc.o_send * jit.next_mult();
         let dep = self.depart(params, placement, src, dst, send_done);
-        let wire = (lc.latency + bytes as f64 * lc.inv_bandwidth) * params.jitter.draw(rng);
+        let wire = (lc.latency + bytes as f64 * lc.inv_bandwidth) * jit.next_mult();
         let arrival = dep + wire;
-        let processed = arrival.max(self.recv_busy[dst]) + lc.o_recv * params.jitter.draw(rng);
+        let processed = arrival.max(self.recv_busy[dst]) + lc.o_recv * jit.next_mult();
         self.recv_busy[dst] = processed;
         (send_done, processed)
     }
@@ -140,7 +149,7 @@ impl NetState {
 mod tests {
     use super::*;
     use crate::params::xeon_cluster_params;
-    use hpm_stats::rng::derive_rng;
+    use hpm_stats::rng::{derive_rng, ScalarJitter};
     use hpm_topology::{cluster_8x2x4, PlacementPolicy};
 
     fn setup(n: usize) -> (PlatformParams, Placement) {
@@ -153,13 +162,14 @@ mod tests {
     fn local_signal_is_cheap_remote_is_expensive() {
         let (params, placement) = setup(16);
         let mut rng = derive_rng(1, 0);
+        let mut jit = ScalarJitter::new(params.jitter, &mut rng);
         // Ranks 0 and 2 share node 0; ranks 0 and 1 are on different nodes.
         let mut net = NetState::new(&placement);
         let (ack_local, _) =
-            net.signal_round_trip(&params, &placement, &mut rng, 0, 2, 0.0, 0, 0.0);
+            net.signal_round_trip(&params, &placement, &mut jit, 0, 2, 0.0, 0, 0.0);
         net.reset();
         let (ack_remote, _) =
-            net.signal_round_trip(&params, &placement, &mut rng, 0, 1, 0.0, 0, 0.0);
+            net.signal_round_trip(&params, &placement, &mut jit, 0, 1, 0.0, 0, 0.0);
         assert!(
             ack_remote > 5.0 * ack_local,
             "remote {ack_remote} vs local {ack_local}"
@@ -170,13 +180,14 @@ mod tests {
     fn nic_serializes_cohabiting_senders() {
         let (params, placement) = setup(16);
         let mut rng = derive_rng(2, 0);
+        let mut jit = ScalarJitter::new(params.jitter, &mut rng);
         let mut net = NetState::new(&placement);
         // Ranks 0, 2, 4, 6 all live on node 0 (round-robin over 2 nodes);
         // they all signal remote peers at once.
         let mut arrivals = Vec::new();
         for &src in &[0usize, 2, 4, 6] {
             let (_, proc) =
-                net.signal_round_trip(&params, &placement, &mut rng, src, src + 1, 0.0, 0, 0.0);
+                net.signal_round_trip(&params, &placement, &mut jit, src, src + 1, 0.0, 0, 0.0);
             arrivals.push(proc);
         }
         // Each successive departure is pushed back by nic_gap.
@@ -192,11 +203,12 @@ mod tests {
     fn unexpected_message_pays_penalty() {
         let (params, placement) = setup(16);
         let mut rng = derive_rng(3, 0);
+        let mut jit = ScalarJitter::new(params.jitter, &mut rng);
         let mut net = NetState::new(&placement);
         // Receiver posts late (at 1 ms): message waits and pays penalty.
-        let (_, late) = net.signal_round_trip(&params, &placement, &mut rng, 0, 1, 0.0, 0, 1e-3);
+        let (_, late) = net.signal_round_trip(&params, &placement, &mut jit, 0, 1, 0.0, 0, 1e-3);
         net.reset();
-        let (_, posted) = net.signal_round_trip(&params, &placement, &mut rng, 0, 1, 0.0, 0, 0.0);
+        let (_, posted) = net.signal_round_trip(&params, &placement, &mut jit, 0, 1, 0.0, 0, 0.0);
         assert!(late >= 1e-3 + params.unexpected_penalty);
         assert!(posted < 1e-3);
     }
@@ -205,10 +217,11 @@ mod tests {
     fn payload_bytes_cost_bandwidth() {
         let (params, placement) = setup(16);
         let mut rng = derive_rng(4, 0);
+        let mut jit = ScalarJitter::new(params.jitter, &mut rng);
         let mut net = NetState::new(&placement);
-        let (a0, _) = net.signal_round_trip(&params, &placement, &mut rng, 0, 1, 0.0, 0, 0.0);
+        let (a0, _) = net.signal_round_trip(&params, &placement, &mut jit, 0, 1, 0.0, 0, 0.0);
         net.reset();
-        let (a1, _) = net.signal_round_trip(&params, &placement, &mut rng, 0, 1, 0.0, 100_000, 0.0);
+        let (a1, _) = net.signal_round_trip(&params, &placement, &mut jit, 0, 1, 0.0, 100_000, 0.0);
         let delta = a1 - a0;
         let expect = 100_000.0 * params.remote.inv_bandwidth;
         assert!(
@@ -221,11 +234,12 @@ mod tests {
     fn receiver_serializes_processing() {
         let (params, placement) = setup(16);
         let mut rng = derive_rng(5, 0);
+        let mut jit = ScalarJitter::new(params.jitter, &mut rng);
         let mut net = NetState::new(&placement);
         // Two remote senders (ranks 0 and 2, both node 0) hit rank 5
         // (node 1) simultaneously.
-        let (_, p1) = net.signal_round_trip(&params, &placement, &mut rng, 0, 5, 0.0, 0, 0.0);
-        let (_, p2) = net.signal_round_trip(&params, &placement, &mut rng, 2, 5, 0.0, 0, 0.0);
+        let (_, p1) = net.signal_round_trip(&params, &placement, &mut jit, 0, 5, 0.0, 0, 0.0);
+        let (_, p2) = net.signal_round_trip(&params, &placement, &mut jit, 2, 5, 0.0, 0, 0.0);
         assert!(
             p2 >= p1 + params.remote.o_recv * 0.99,
             "second processing must queue behind the first"
@@ -236,8 +250,9 @@ mod tests {
     fn transfer_releases_sender_early() {
         let (params, placement) = setup(16);
         let mut rng = derive_rng(6, 0);
+        let mut jit = ScalarJitter::new(params.jitter, &mut rng);
         let mut net = NetState::new(&placement);
-        let (cpu_done, processed) = net.transfer(&params, &placement, &mut rng, 0, 1, 1 << 20, 0.0);
+        let (cpu_done, processed) = net.transfer(&params, &placement, &mut jit, 0, 1, 1 << 20, 0.0);
         // The sender is free long before the megabyte lands: overlap.
         assert!(cpu_done < processed / 100.0, "{cpu_done} vs {processed}");
     }
@@ -246,8 +261,9 @@ mod tests {
     fn self_transfer_is_memcpy_speed() {
         let (params, placement) = setup(8);
         let mut rng = derive_rng(7, 0);
+        let mut jit = ScalarJitter::new(params.jitter, &mut rng);
         let mut net = NetState::new(&placement);
-        let (_, done) = net.transfer(&params, &placement, &mut rng, 0, 0, 1 << 20, 0.0);
+        let (_, done) = net.transfer(&params, &placement, &mut jit, 0, 0, 1 << 20, 0.0);
         let remote = params.remote.latency;
         assert!(done < remote * 100.0, "self transfer should be cheap");
     }

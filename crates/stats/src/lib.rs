@@ -13,12 +13,14 @@ pub mod outlier;
 pub mod quantile;
 pub mod regression;
 pub mod rng;
+pub mod stream;
 pub mod summary;
 pub mod tdist;
 
 pub use outlier::{filter_outlier_means, OutlierReport};
 pub use quantile::{median, quantile};
 pub use regression::LinearFit;
-pub use rng::{derive_rng, JitterModel};
+pub use rng::{derive_rng, JitterBuf, JitterModel, JitterSource, ScalarJitter};
+pub use stream::{fast_exp, norminv, NormalSource, SplitMix64};
 pub use summary::{mean, Summary};
 pub use tdist::{student_t_critical, StudentT};

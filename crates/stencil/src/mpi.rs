@@ -16,11 +16,18 @@
 use crate::decomp::Decomposition;
 use hpm_kernels::rate::ProcessorModel;
 use hpm_kernels::stencil::Stencil5;
-use hpm_simnet::exchange::{resolve_exchange_into, ExchangeMsg, ExchangeResult, ExchangeScratch};
+use hpm_simnet::exchange::{
+    exchange_jitter_draws, resolve_exchange_into, ExchangeMsg, ExchangeResult, ExchangeScratch,
+};
 use hpm_simnet::net::NetState;
 use hpm_simnet::params::PlatformParams;
-use hpm_stats::rng::derive_rng;
+use hpm_stats::rng::{derive_rng, JitterBuf};
 use hpm_topology::Placement;
+
+/// Stream label of the border-exchange resolutions; `rep` enumerates
+/// `(iteration, stage)` — two stages per blocking iteration, one pass
+/// per MPI+R iteration.
+const STENCIL_JITTER_LABEL: u64 = 0x4D50_4958; // b"MPIX"
 
 /// Which MPI-style program to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,9 +84,14 @@ pub fn run_mpi_stencil(
     assert!(speedup > 0.0);
     let p = placement.nprocs();
     let decomp = Decomposition::new(n, p);
+    // Compute-time jitter stays scalar (draws arrive per rank as the
+    // iteration advances); the border exchanges below run on the batched
+    // engine with per-(iteration, stage) streams.
     let mut rng = derive_rng(seed, 0x4D50);
+    let mut jitter = params.jitter;
     let mut net = NetState::new(placement);
     let mut ex_scratch = ExchangeScratch::default();
+    let mut ex_jitter = JitterBuf::new();
     let mut res = ExchangeResult::default();
     let mut t = vec![0.0f64; p];
     let mut iter_times = Vec::with_capacity(iters);
@@ -87,14 +99,14 @@ pub fn run_mpi_stencil(
         .map(|r| proc_model.secs_per_element(&Stencil5, decomp.block(r).cells()) / speedup)
         .collect();
 
-    for _ in 0..iters {
+    for it in 0..iters {
         let start_max = t.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         match variant {
             MpiVariant::Blocking2Stage => {
                 // Whole-block compute.
                 for (r, tr) in t.iter_mut().enumerate() {
                     let cells = decomp.block(r).cells() as f64;
-                    *tr += cells * per_cell[r] * params.jitter.draw(&mut rng);
+                    *tr += cells * per_cell[r] * jitter.draw(&mut rng);
                 }
                 // Stage 1: north/south sendrecv.
                 exchange_stage(
@@ -103,7 +115,7 @@ pub fn run_mpi_stencil(
                     &decomp,
                     &mut t,
                     &mut net,
-                    &mut rng,
+                    (&mut ex_jitter, seed, 2 * it as u64),
                     (&mut ex_scratch, &mut res),
                     true,
                 );
@@ -114,7 +126,7 @@ pub fn run_mpi_stencil(
                     &decomp,
                     &mut t,
                     &mut net,
-                    &mut rng,
+                    (&mut ex_jitter, seed, 2 * it as u64 + 1),
                     (&mut ex_scratch, &mut res),
                     false,
                 );
@@ -125,8 +137,7 @@ pub fn run_mpi_stencil(
                 let mut interior_done = vec![0.0f64; p];
                 for r in 0..p {
                     let regions = decomp.regions(r);
-                    let border =
-                        regions.pre_comm() as f64 * per_cell[r] * params.jitter.draw(&mut rng);
+                    let border = regions.pre_comm() as f64 * per_cell[r] * jitter.draw(&mut rng);
                     let t_border = t[r] + border;
                     let nb = decomp.neighbours(r);
                     for (peer, bytes) in [
@@ -146,15 +157,22 @@ pub fn run_mpi_stencil(
                     }
                     let rest = (regions.inner_ring + regions.interior) as f64
                         * per_cell[r]
-                        * params.jitter.draw(&mut rng);
+                        * jitter.draw(&mut rng);
                     interior_done[r] = t_border + rest;
                 }
+                ex_jitter.fill(
+                    params.jitter.sigma,
+                    seed,
+                    STENCIL_JITTER_LABEL,
+                    it as u64,
+                    exchange_jitter_draws(&msgs),
+                );
                 resolve_exchange_into(
                     params,
                     placement,
                     &msgs,
                     &mut net,
-                    &mut rng,
+                    &mut ex_jitter,
                     &mut ex_scratch,
                     &mut res,
                 );
@@ -188,7 +206,7 @@ fn exchange_stage(
     decomp: &Decomposition,
     t: &mut [f64],
     net: &mut NetState,
-    rng: &mut rand::rngs::StdRng,
+    (ex_jitter, seed, rep): (&mut JitterBuf, u64, u64),
     (ex_scratch, res): (&mut ExchangeScratch, &mut ExchangeResult),
     north_south: bool,
 ) {
@@ -217,7 +235,14 @@ fn exchange_stage(
             }
         }
     }
-    resolve_exchange_into(params, placement, &msgs, net, rng, ex_scratch, res);
+    ex_jitter.fill(
+        params.jitter.sigma,
+        seed,
+        STENCIL_JITTER_LABEL,
+        rep,
+        exchange_jitter_draws(&msgs),
+    );
+    resolve_exchange_into(params, placement, &msgs, net, ex_jitter, ex_scratch, res);
     // Blocking semantics: a process leaves the stage when its inbound
     // borders are in and its own sends have left the CPU.
     for (r, tr) in t.iter_mut().enumerate() {

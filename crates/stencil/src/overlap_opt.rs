@@ -26,12 +26,20 @@ use hpm_core::predictor::{predict_barrier, PayloadSchedule};
 use hpm_kernels::rate::ProcessorModel;
 use hpm_kernels::stencil::Stencil5;
 use hpm_simnet::barrier::{BarrierSim, SimScratch};
-use hpm_simnet::exchange::{resolve_exchange_into, ExchangeMsg, ExchangeResult, ExchangeScratch};
+use hpm_simnet::exchange::{
+    exchange_jitter_draws, resolve_exchange_into, ExchangeMsg, ExchangeResult, ExchangeScratch,
+};
 use hpm_simnet::microbench::PlatformProfile;
 use hpm_simnet::net::NetState;
 use hpm_simnet::params::PlatformParams;
-use hpm_stats::rng::derive_rng;
+use hpm_stats::rng::{derive_rng, JitterBuf};
 use hpm_topology::Placement;
+
+/// Stream labels of the adapted superstep's band exchange and sync; the
+/// ghost width keys the label (one sweep point per width), the
+/// superstep index keys `rep`.
+const GHOST_EXCHANGE_JITTER_LABEL: u64 = 0x4757_4558; // b"GWEX"
+const GHOST_SYNC_JITTER_LABEL: u64 = 0x4757_5359; // b"GWSY"
 
 /// Cells computed by one process in one `w`-deep superstep: the block is
 /// logically expanded by `w−1−j` cells on each interior face at iteration
@@ -156,20 +164,22 @@ pub fn measure_ghost_width(
     let plan = (p >= 2).then(|| dissemination(p).plan());
     let payload = PayloadSchedule::dissemination_count_map(p);
     let mut rng = derive_rng(seed, w as u64);
+    let mut jitter = params.jitter;
     let mut net = NetState::new(placement);
     let mut scratch = SimScratch::new(placement);
     let mut ex_scratch = ExchangeScratch::default();
+    let mut ex_jitter = JitterBuf::new();
     let mut res = ExchangeResult::default();
     let mut msgs: Vec<ExchangeMsg> = Vec::new();
     let mut compute_done = vec![0.0f64; p];
     let mut t = vec![0.0f64; p];
-    for _ in 0..supersteps {
+    for ss in 0..supersteps {
         msgs.clear();
         for r in 0..p {
             let cells = superstep_cells(&decomp, r, w);
             let per_cell = proc_model.secs_per_element(&Stencil5, decomp.block(r).cells());
             let pre = decomp.regions(r).pre_comm() as f64 * per_cell;
-            let t_commit = t[r] + pre * params.jitter.draw(&mut rng);
+            let t_commit = t[r] + pre * jitter.draw(&mut rng);
             let nb = decomp.neighbours(r);
             let b = decomp.block(r);
             for (peer, len) in [
@@ -194,25 +204,34 @@ pub fn measure_ghost_width(
                 }
             }
             let rest = (cells as f64 * per_cell - pre).max(0.0);
-            compute_done[r] = t_commit + rest * params.jitter.draw(&mut rng);
+            compute_done[r] = t_commit + rest * jitter.draw(&mut rng);
         }
+        ex_jitter.fill(
+            params.jitter.sigma,
+            seed,
+            GHOST_EXCHANGE_JITTER_LABEL.wrapping_add(w as u64),
+            ss as u64,
+            exchange_jitter_draws(&msgs),
+        );
         resolve_exchange_into(
             params,
             placement,
             &msgs,
             &mut net,
-            &mut rng,
+            &mut ex_jitter,
             &mut ex_scratch,
             &mut res,
         );
         let exits: &[f64] = match &plan {
             Some(plan) => {
-                sim.run_once_compiled(
+                sim.run_once_batched(
                     plan,
                     &payload,
                     &compute_done,
                     &mut net,
-                    &mut rng,
+                    seed,
+                    GHOST_SYNC_JITTER_LABEL.wrapping_add(w as u64),
+                    ss as u64,
                     &mut scratch,
                 );
                 scratch.exits()

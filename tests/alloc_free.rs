@@ -42,9 +42,10 @@ fn compiled_barrier_repetitions_allocate_nothing() {
     use hpm::model::pattern::CommPattern;
     use hpm::model::predictor::PayloadSchedule;
     use hpm::simnet::barrier::{BarrierSim, SimScratch};
+    use hpm::simnet::batch::LaneScratch;
     use hpm::simnet::net::NetState;
     use hpm::simnet::params::xeon_cluster_params;
-    use hpm::stats::rng::derive_rng;
+    use hpm::stats::rng::{derive_rng, ScalarJitter};
     use hpm::topology::{cluster_8x2x4, Placement, PlacementPolicy};
 
     let params = xeon_cluster_params();
@@ -60,10 +61,16 @@ fn compiled_barrier_repetitions_allocate_nothing() {
         let plan = pattern.plan();
         let mut net = NetState::new(&placement);
         let mut scratch = SimScratch::new(&placement);
-        // Warmup: one full repetition through every stage shape.
+        let mut lanes = LaneScratch::new();
+        // Warmup: one full repetition through every stage shape on each
+        // engine — scalar-jitter compiled, batch-filled scalar, and the
+        // 8-lane SoA executor (sizing jitter tables and lane buffers).
         let mut rng = derive_rng(42, 0);
-        let warm = sim.run_total_compiled(&plan, &payload, &mut rng, &mut net, &mut scratch);
+        let mut jit = ScalarJitter::new(params.jitter, &mut rng);
+        let warm = sim.run_total_compiled(&plan, &payload, &mut jit, &mut net, &mut scratch);
         assert!(warm > 0.0);
+        assert!(sim.run_total_batched(&plan, &payload, 42, 0, &mut net, &mut scratch) > 0.0);
+        sim.run_batch_compiled(&plan, &payload, 42, 0, 8, &mut lanes);
 
         // The libtest harness owns background threads that allocate
         // sporadically through the same global allocator, so a single
@@ -74,9 +81,16 @@ fn compiled_barrier_repetitions_allocate_nothing() {
         for trial in 0..8 {
             let before = ALLOCATIONS.load(Ordering::SeqCst);
             let mut acc = 0.0;
-            for rep in 0..256u64 {
+            for rep in 0..64u64 {
                 let mut rng = derive_rng(42 + trial, rep);
-                acc += sim.run_total_compiled(&plan, &payload, &mut rng, &mut net, &mut scratch);
+                let mut jit = ScalarJitter::new(params.jitter, &mut rng);
+                acc += sim.run_total_compiled(&plan, &payload, &mut jit, &mut net, &mut scratch);
+                // The batched engines refill their tables in place.
+                acc +=
+                    sim.run_total_batched(&plan, &payload, 42 + trial, rep, &mut net, &mut scratch);
+                for &t in sim.run_batch_compiled(&plan, &payload, trial, 8 * rep, 8, &mut lanes) {
+                    acc += t;
+                }
             }
             let after = ALLOCATIONS.load(Ordering::SeqCst);
             assert!(acc.is_finite() && acc > 0.0);
@@ -85,7 +99,7 @@ fn compiled_barrier_repetitions_allocate_nothing() {
         assert_eq!(
             min_delta,
             0,
-            "{}: every trial of 256 warm repetitions heap-allocated (min {min_delta})",
+            "{}: every trial of 64 warm repetitions heap-allocated (min {min_delta})",
             plan.name(),
         );
     }
