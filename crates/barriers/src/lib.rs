@@ -19,5 +19,7 @@ pub mod sss;
 
 pub use greedy::{greedy_adaptive_barrier, GreedyReport};
 pub use hybrid::{hybrid_barrier, GatherShape};
-pub use patterns::{all_to_all, binary_tree, dissemination, kary_tree, linear, ring};
+pub use patterns::{
+    all_to_all, binary_tree, dissemination, dissemination_plan, kary_tree, linear, ring,
+};
 pub use sss::{sss_clusters, Clustering};

@@ -11,6 +11,7 @@
 
 use hpm_core::matrix::IMat;
 use hpm_core::pattern::BarrierPattern;
+use hpm_core::plan::CompiledPattern;
 
 /// The linear barrier (Fig. 5.2): every process signals `root`, then
 /// `root` signals everyone.
@@ -38,6 +39,20 @@ pub fn dissemination(p: usize) -> BarrierPattern {
         })
         .collect();
     BarrierPattern::new("dissemination", p, mats)
+}
+
+/// The dissemination barrier compiled straight to execution form, never
+/// materializing the dense per-stage matrices — the authoring route for
+/// large process counts, where a single dense stage at p = 4096 is a
+/// 16.7 MB boolean matrix while its compiled form is 64 KB of CSR.
+/// Identical to `CompiledPattern::compile(&dissemination(p))`.
+pub fn dissemination_plan(p: usize) -> CompiledPattern {
+    assert!(p >= 2, "a barrier needs at least two processes");
+    let stages = (p as f64).log2().ceil() as usize;
+    let stage_edges: Vec<Vec<(usize, usize)>> = (0..stages)
+        .map(|s| (0..p).map(|i| (i, (i + (1 << s)) % p)).collect())
+        .collect();
+    CompiledPattern::from_stage_edges("dissemination", p, &stage_edges)
 }
 
 /// A k-ary tree barrier rooted at rank 0 with heap indexing
@@ -207,6 +222,16 @@ mod tests {
         // Each non-root signals its parent once and is released once.
         for p in [2usize, 5, 8, 16, 23] {
             assert_eq!(binary_tree(p).total_signals(), 2 * (p - 1), "p={p}");
+        }
+    }
+
+    #[test]
+    fn dissemination_plan_matches_dense_compilation() {
+        use hpm_core::plan::CompiledPattern;
+        for p in [2usize, 5, 16, 24, 64, 100] {
+            let sparse = dissemination_plan(p);
+            let dense = CompiledPattern::compile(&dissemination(p));
+            assert_eq!(sparse, dense, "p={p}");
         }
     }
 

@@ -41,16 +41,61 @@
 //! path specifically (the threshold is generous precisely because even
 //! the ratio wobbles on noisy shared runners).
 
-use hpm_barriers::patterns::dissemination;
+use hpm_barriers::patterns::{dissemination, dissemination_plan};
 use hpm_core::pattern::CommPattern;
-use hpm_core::predictor::{predict_compiled, CommCosts, PayloadSchedule};
+use hpm_core::predictor::{predict_compiled, predict_compiled_with, CommCosts, PayloadSchedule};
 use hpm_simnet::barrier::BarrierSim;
 use hpm_simnet::batch::LaneScratch;
+use hpm_simnet::microbench::{bench_platform_classes, ClassCosts, MicrobenchConfig};
 use hpm_simnet::params::xeon_cluster_params;
-use hpm_topology::{cluster_8x2x4, Placement, PlacementPolicy};
+use hpm_topology::{
+    cluster_128x2x4, cluster_32x2x4, cluster_512x2x4, cluster_8x2x4, ClusterShape, Placement,
+    PlacementPolicy,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Counting allocator: tracks live and peak heap bytes so the scale rows
+/// can report the placement's actual footprint — the artifact-level
+/// enforcement that no O(p²) structure is hiding behind the type
+/// signatures.
+struct CountingAlloc;
+
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let now = LIVE_BYTES.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK_BYTES.fetch_max(now, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) };
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Peak heap growth while constructing (and briefly holding) the
+/// placement for `p` ranks — measured on the main thread with the
+/// worker pool idle.
+fn placement_peak_bytes(shape: ClusterShape, p: usize) -> usize {
+    let before = LIVE_BYTES.load(Ordering::Relaxed);
+    PEAK_BYTES.store(before, Ordering::Relaxed);
+    let placement = Placement::new(shape, PlacementPolicy::RoundRobin, p);
+    std::hint::black_box(&placement);
+    PEAK_BYTES.load(Ordering::Relaxed).saturating_sub(before)
+}
 
 /// Times `op` for at least `window` seconds and returns ops/sec.
 fn throughput(window: f64, mut op: impl FnMut()) -> f64 {
@@ -101,6 +146,23 @@ const BASELINE_PR4_JITTERED: &[(&str, f64)] = &[
     ("measure_p64", 12567.0),
     ("measure_engine_p64", 196694.0),
 ];
+
+/// The scale rows' committed reference (this PR's numbers on its
+/// development machine — same provenance rule as [`BASELINE`]). The
+/// `--check` gate holds the p = 1024 jittered/noiseless ratio within
+/// 30 % of this block's ratio, and caps the p = 4096 placement
+/// footprint so a dense pairwise structure (16.7 MB at that scale)
+/// cannot silently return.
+const BASELINE_SCALE_COMMIT: &str = "PR 7";
+const BASELINE_SCALE: &[(&str, f64)] = &[
+    ("scale_measure_p1024", 2056.0),
+    ("scale_engine_p1024", 11474.0),
+];
+
+/// Upper bound on the p = 4096 placement's peak construction footprint:
+/// a generous linear allowance (cores, link map, node buckets, transient
+/// doubling), two orders of magnitude under the dense table.
+const PLACEMENT_PEAK_CAP_P4096: f64 = 2_000_000.0;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -183,6 +245,62 @@ fn main() {
         });
     }
 
+    // Scale rows: the past-p² pipeline — sparse-authored dissemination
+    // plan, sampled stratified microbenchmark, per-class cost model —
+    // at p ∈ {256, 1024, 4096}. Fewer reps per op than the small rows:
+    // one p = 4096 repetition simulates ~49k signal round trips.
+    const SCALE_REPS: usize = 8;
+    for (shape, p) in [
+        (cluster_32x2x4(), 256usize),
+        (cluster_128x2x4(), 1024),
+        (cluster_512x2x4(), 4096),
+    ] {
+        let placement = Placement::new(shape, PlacementPolicy::RoundRobin, p);
+        let plan = dissemination_plan(p);
+        let payload = PayloadSchedule::none();
+
+        let sim = BarrierSim::new(&jittered, &placement);
+        let ops = throughput(window, || {
+            std::hint::black_box(sim.measure_compiled(&plan, &payload, SCALE_REPS, 42));
+        });
+        entries.push(Entry {
+            id: format!("scale_measure_p{p}"),
+            ops_per_sec: ops * SCALE_REPS as f64,
+            unit: "barrier repetitions/sec, default jitter, sparse-authored plan",
+        });
+
+        if p == 1024 {
+            // The --check gate normalizes the p = 1024 scale row by its
+            // own noiseless run, like the small rows.
+            let engine = BarrierSim::new(&noiseless, &placement);
+            let ops = throughput(window, || {
+                std::hint::black_box(engine.measure_compiled(&plan, &payload, SCALE_REPS, 42));
+            });
+            entries.push(Entry {
+                id: format!("scale_engine_p{p}"),
+                ops_per_sec: ops * SCALE_REPS as f64,
+                unit: "barrier repetitions/sec, jitter off, sparse-authored plan",
+            });
+        }
+
+        let micro = MicrobenchConfig::quick().with_pair_sample(16);
+        let profile = bench_platform_classes(&jittered, &placement, &micro, 42);
+        let costs = ClassCosts::new(&placement, profile);
+        let meas = sim.measure_compiled(&plan, &payload, SCALE_REPS, 42).mean();
+        let pred = predict_compiled_with(&plan, &costs, &payload).total;
+        entries.push(Entry {
+            id: format!("scale_rel_err_p{p}"),
+            ops_per_sec: (pred - meas) / meas,
+            unit: "predict-vs-sim relative error (dimensionless, not a rate)",
+        });
+
+        entries.push(Entry {
+            id: format!("placement_peak_bytes_p{p}"),
+            ops_per_sec: placement_peak_bytes(shape, p) as f64,
+            unit: "peak heap bytes while constructing the placement (dimensionless)",
+        });
+    }
+
     for e in &entries {
         println!("{:<22} {:>14.0} ops/s  ({})", e.id, e.ops_per_sec, e.unit);
     }
@@ -215,6 +333,13 @@ fn regression_check(entries: &[Entry]) -> bool {
             .unwrap_or_else(|| panic!("missing baseline {id}"))
             .1
     };
+    let scale_base = |id: &str| -> f64 {
+        BASELINE_SCALE
+            .iter()
+            .find(|(k, _)| *k == id)
+            .unwrap_or_else(|| panic!("missing scale baseline {id}"))
+            .1
+    };
     let mut ok = true;
     for p in [16usize, 64] {
         let measure = format!("measure_p{p}");
@@ -230,10 +355,35 @@ fn regression_check(entries: &[Entry]) -> bool {
         );
         ok &= rel >= 0.70;
     }
+    // The p = 1024 scale row, same machine-normalized ratio gate.
+    let fresh_ratio = fresh("scale_measure_p1024") / fresh("scale_engine_p1024");
+    let base_ratio = scale_base("scale_measure_p1024") / scale_base("scale_engine_p1024");
+    let rel = fresh_ratio / base_ratio;
+    let verdict = if rel >= 0.70 { "ok" } else { "REGRESSED" };
+    println!(
+        "check scale_measure_p1024: jittered/noiseless ratio {fresh_ratio:.4} vs baseline \
+         {base_ratio:.4} ({}% of baseline) — {verdict}",
+        (rel * 100.0).round()
+    );
+    ok &= rel >= 0.70;
+    // The placement footprint cap: absolute bytes, portable across
+    // machines (allocation sizes do not depend on CPU speed).
+    let peak = fresh("placement_peak_bytes_p4096");
+    let verdict = if peak <= PLACEMENT_PEAK_CAP_P4096 {
+        "ok"
+    } else {
+        "REGRESSED"
+    };
+    println!(
+        "check placement_peak_bytes_p4096: {peak:.0} B vs cap \
+         {PLACEMENT_PEAK_CAP_P4096:.0} B — {verdict}"
+    );
+    ok &= peak <= PLACEMENT_PEAK_CAP_P4096;
     if !ok {
         println!(
-            "jittered measure regressed >30% vs the committed {BASELINE_COMMIT} baseline \
-             (machine-normalized); see benches/simcore.rs"
+            "jittered measure regressed >30% vs the committed {BASELINE_COMMIT}/\
+             {BASELINE_SCALE_COMMIT} baselines (machine-normalized), or the placement \
+             footprint blew its cap; see benches/simcore.rs"
         );
     }
     ok
@@ -256,7 +406,7 @@ fn write_json(path: &PathBuf, quick: bool, reps: usize, entries: &[Entry]) {
     for (k, e) in entries.iter().enumerate() {
         let comma = if k + 1 < entries.len() { "," } else { "" };
         s.push_str(&format!(
-            "    {{\"id\": \"{}\", \"ops_per_sec\": {:.1}, \"unit\": \"{}\"}}{comma}\n",
+            "    {{\"id\": \"{}\", \"ops_per_sec\": {:.4}, \"unit\": \"{}\"}}{comma}\n",
             e.id, e.ops_per_sec, e.unit
         ));
     }
@@ -275,6 +425,12 @@ fn write_json(path: &PathBuf, quick: bool, reps: usize, entries: &[Entry]) {
     s.push_str(&format!("    \"commit\": \"{BASELINE_COMMIT}\",\n"));
     s.push_str("    \"entries\": [\n");
     block(&mut s, BASELINE, "      ");
+    s.push_str("    ]\n");
+    s.push_str("  },\n");
+    s.push_str("  \"baseline_scale\": {\n");
+    s.push_str(&format!("    \"commit\": \"{BASELINE_SCALE_COMMIT}\",\n"));
+    s.push_str("    \"entries\": [\n");
+    block(&mut s, BASELINE_SCALE, "      ");
     s.push_str("    ]\n");
     s.push_str("  },\n");
     s.push_str("  \"baseline_pr4_jittered\": {\n");

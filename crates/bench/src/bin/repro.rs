@@ -16,7 +16,7 @@
 //! identical at every thread count (the per-point RNG streams are derived
 //! from the seed and the point's coordinates, never shared).
 
-use hpm_bench::experiments::{registry, run_experiment, stochastic_path, Effort};
+use hpm_bench::experiments::{max_procs, registry, run_experiment, stochastic_path, Effort};
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -67,8 +67,8 @@ fn main() {
                 json_path = Some(PathBuf::from(it.next().expect("--json needs a file path")));
             }
             "list" => {
-                for (id, desc, stochastic, _) in registry() {
-                    println!("{id:<10} [{stochastic:>10}] {desc}");
+                for (id, desc, stochastic, p, _) in registry() {
+                    println!("{id:<10} [{stochastic:>10}] [p<={p:<4}] {desc}");
                 }
                 return;
             }
@@ -78,7 +78,7 @@ fn main() {
     if ids.iter().any(|s| s == "all") {
         ids = registry()
             .iter()
-            .map(|(id, _, _, _)| id.to_string())
+            .map(|(id, _, _, _, _)| id.to_string())
             .collect();
     }
     let t0 = std::time::Instant::now();
@@ -97,6 +97,7 @@ fn main() {
                     files: paths.len(),
                     items: count_items(&paths),
                     stochastic: stochastic_path(id).expect("id resolved above"),
+                    p: max_procs(id).expect("id resolved above"),
                 });
             }
             None => {
@@ -123,6 +124,9 @@ struct Timing {
     /// "host-clock" / "none") — makes perf-trajectory artifacts
     /// attributable to the path that ran them.
     stochastic: &'static str,
+    /// Largest process count the experiment touches — throughput numbers
+    /// only compare at equal problem scale.
+    p: usize,
 }
 
 /// Result items an experiment produced: data rows across its CSV
@@ -154,8 +158,8 @@ fn write_json(path: &PathBuf, effort: &str, total: f64, timings: &[Timing]) {
         let comma = if k + 1 < timings.len() { "," } else { "" };
         s.push_str(&format!(
             "    {{\"id\": \"{}\", \"seconds\": {:.3}, \"files\": {}, \"items\": {}, \
-             \"stochastic_path\": \"{}\"}}{comma}\n",
-            t.id, t.secs, t.files, t.items, t.stochastic
+             \"stochastic_path\": \"{}\", \"p\": {}}}{comma}\n",
+            t.id, t.secs, t.files, t.items, t.stochastic, t.p
         ));
     }
     s.push_str("  ]\n}\n");

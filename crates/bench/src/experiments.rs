@@ -11,7 +11,7 @@ use std::path::{Path, PathBuf};
 
 use hpm_barriers::greedy::greedy_adaptive_barrier;
 use hpm_barriers::hybrid::flat_dissemination_hybrid;
-use hpm_barriers::patterns::{binary_tree, dissemination, linear};
+use hpm_barriers::patterns::{binary_tree, dissemination, dissemination_plan, linear};
 use hpm_barriers::sss::sss_clusters;
 use hpm_bsplib::bench::bspbench;
 use hpm_bsplib::inprod::bspinprod;
@@ -21,7 +21,7 @@ use hpm_collectives::pattern::catalog;
 use hpm_collectives::predict::{predict_collective, simulate_collective};
 use hpm_core::classic::ClassicBsp;
 use hpm_core::pattern::{BarrierPattern, CommPattern};
-use hpm_core::predictor::{predict_barrier, PayloadSchedule};
+use hpm_core::predictor::{predict_barrier, predict_compiled_with, PayloadSchedule};
 use hpm_core::superstep::SuperstepModel;
 use hpm_kernels::blas1::Axpy;
 use hpm_kernels::harness::{profile_kernel, BenchConfig, WallClock};
@@ -30,7 +30,9 @@ use hpm_kernels::rate::{opteron_core, xeon_core, ProcessorModel};
 use hpm_kernels::stencil::Stencil5;
 use hpm_kernels::{blas1_suite, harness::BatchTimer};
 use hpm_simnet::barrier::BarrierSim;
-use hpm_simnet::microbench::{bench_platform, MicrobenchConfig, PlatformProfile};
+use hpm_simnet::microbench::{
+    bench_platform, bench_platform_classes, ClassCosts, MicrobenchConfig, PlatformProfile,
+};
 use hpm_simnet::params::{opteron_cluster_params, xeon_cluster_params, PlatformParams};
 use hpm_stats::quantile::median;
 use hpm_stencil::bsp::{run_bsp_stencil, CommitDiscipline};
@@ -39,7 +41,10 @@ use hpm_stencil::hybrid::run_hybrid_stencil;
 use hpm_stencil::mpi::{run_mpi_stencil, MpiVariant};
 use hpm_stencil::overlap_opt::optimize_ghost_width;
 use hpm_stencil::predictor::predict_bsp_iteration;
-use hpm_topology::{cluster_10x2x6, cluster_12x2x6, cluster_8x2x4, Placement, PlacementPolicy};
+use hpm_topology::{
+    cluster_10x2x6, cluster_128x2x4, cluster_12x2x6, cluster_32x2x4, cluster_512x2x4,
+    cluster_8x2x4, Placement, PlacementPolicy,
+};
 
 const SEED: u64 = 20121116; // thesis submission month
 
@@ -89,6 +94,7 @@ impl Effort {
                 reps: 7,
                 max_requests: 4,
                 size_exponents: (0, 14),
+                pair_sample: None,
             },
             host_reps: 8,
         }
@@ -106,6 +112,7 @@ impl Effort {
                 reps: 3,
                 max_requests: 2,
                 size_exponents: (0, 8),
+                pair_sample: None,
             },
             host_reps: 2,
         }
@@ -1025,6 +1032,60 @@ pub fn collectives_runtime(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
     vec![write_csv(dir, "collectives_runtime", &t)]
 }
 
+// ---------------------------------------------------- scale runs (ext.)
+
+/// Ordered pairs measured per link class on the scale path.
+const SCALE_PAIR_SAMPLE: usize = 16;
+
+/// The past-p² cases: process count and the cluster hosting it.
+fn scale_cases() -> Vec<(hpm_topology::ClusterShape, usize)> {
+    vec![
+        (cluster_32x2x4(), 256),
+        (cluster_128x2x4(), 1024),
+        (cluster_512x2x4(), 4096),
+    ]
+}
+
+/// Scale extension: the microbenchmark → predict → simulate pipeline at
+/// p ∈ {256, 1024, 4096} with no O(p²) structure anywhere — sampled
+/// stratified microbenchmarks ([`bench_platform_classes`]), the
+/// per-class cost model ([`ClassCosts`]), the sparse-authored
+/// dissemination plan and the flat simulator. The thesis stops at 144
+/// processes because its clusters do; this run shows the model pipeline
+/// itself no longer does.
+pub fn scale_p(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    let params = xeon_cluster_params();
+    let mut t = CsvTable::new(&[
+        "P",
+        "sampled_pairs",
+        "simulated_s",
+        "predicted_s",
+        "rel_err",
+    ]);
+    for row in par_points(&scale_cases(), |&(shape, p)| {
+        let placement = Placement::new(shape, PlacementPolicy::RoundRobin, p);
+        let micro = effort.micro.with_pair_sample(SCALE_PAIR_SAMPLE);
+        let profile = bench_platform_classes(&params, &placement, &micro, SEED);
+        let costs = ClassCosts::new(&placement, profile);
+        let plan = dissemination_plan(p);
+        let sim = BarrierSim::new(&params, &placement);
+        let meas = sim
+            .measure_compiled(&plan, &PayloadSchedule::none(), effort.barrier_reps, SEED)
+            .mean();
+        let pred = predict_compiled_with(&plan, &costs, &PayloadSchedule::none()).total;
+        vec![
+            p.to_string(),
+            profile.sampled_pairs.iter().sum::<usize>().to_string(),
+            fmt(meas),
+            fmt(pred),
+            format!("{:.4}", (pred - meas) / meas),
+        ]
+    }) {
+        t.push(row);
+    }
+    vec![write_csv(dir, "scale_p", &t)]
+}
+
 // ---------------------------------------------------------------- driver
 
 type ExperimentFn = fn(&Path, &Effort) -> Vec<PathBuf>;
@@ -1042,155 +1103,213 @@ type ExperimentFn = fn(&Path, &Effort) -> Vec<PathBuf>;
 pub type StochasticPath = &'static str;
 
 /// The full experiment registry: `(id, description, stochastic path,
-/// function)`.
-pub fn registry() -> Vec<(&'static str, &'static str, StochasticPath, ExperimentFn)> {
+/// max process count, function)`. The process count is the largest `P`
+/// the experiment touches at standard effort (1 for host-clock and
+/// rendering experiments with no simulated processes) — reported by
+/// `repro --json` so throughput artifacts carry their problem scale.
+pub fn registry() -> Vec<(
+    &'static str,
+    &'static str,
+    StochasticPath,
+    usize,
+    ExperimentFn,
+)> {
     vec![
         (
             "table3_1",
             "BSPBench parameter values, 8x2x4 cluster",
             "batched",
+            64,
             table3_1,
         ),
         (
             "fig3_2",
             "inner product: timings vs classic BSP estimates",
             "batched",
+            64,
             fig3_2,
         ),
         (
             "fig4_2",
             "bspbench computation rates vs vector size (host)",
             "host-clock",
+            1,
             fig4_2,
         ),
         (
             "fig4_3",
             "kernel rates and predictions, 2 kernels (host)",
             "host-clock",
+            1,
             fig4_3_4_4,
         ),
         (
             "fig4_5",
             "L1 BLAS, in-cache problem sizes (host)",
             "host-clock",
+            1,
             fig4_5,
         ),
         (
             "fig4_6",
             "L1 BLAS, out-of-cache problem sizes (host)",
             "host-clock",
+            1,
             fig4_6,
         ),
         (
             "fig5_2",
             "4-process barrier patterns in matrix form",
             "none",
+            4,
             fig5_2_3_4,
         ),
         (
             "fig5_6",
             "barrier timings/predictions/errors, 8x2x4",
             "batched",
+            64,
             fig5_6_to_5_9,
         ),
         (
             "fig5_10",
             "barrier timings/predictions/errors, 12x2x6",
             "batched",
+            144,
             fig5_10_to_5_13,
         ),
         (
             "fig6_3",
             "BSP sync measured vs estimate, 8x2x4",
             "batched",
+            64,
             fig6_3,
         ),
         (
             "fig6_4",
             "BSP sync measured vs estimate, 12x2x6",
             "batched",
+            144,
             fig6_4,
         ),
         (
             "table7_1",
             "SSS clustering, 60 processes on 8x2x4",
             "batched",
+            60,
             table7_1,
         ),
         (
             "table7_2",
             "SSS clustering, 115 processes on 10x2x6",
             "batched",
+            115,
             table7_2,
         ),
         (
             "fig7_4",
             "hybrid barrier performance, 8x2x4",
             "batched",
+            64,
             fig7_4,
         ),
         (
             "fig7_5",
             "hybrid barrier performance, 12x2x6",
             "batched",
+            144,
             fig7_5,
         ),
-        ("fig7_6", "greedy adapted barrier, 8x2x4", "batched", fig7_6),
+        (
+            "fig7_6",
+            "greedy adapted barrier, 8x2x4",
+            "batched",
+            64,
+            fig7_6,
+        ),
         (
             "fig7_7",
             "greedy adapted barrier, 12x2x6",
             "batched",
+            144,
             fig7_7,
         ),
         (
             "table8_1",
             "stencil experimental configurations",
             "none",
+            1,
             table8_1,
         ),
-        ("table8_2", "MPI and MPI+R wall times", "batched", table8_2),
+        (
+            "table8_2",
+            "MPI and MPI+R wall times",
+            "batched",
+            64,
+            table8_2,
+        ),
         (
             "fig8_4",
             "A1: strong scaling, all implementations",
             "batched",
+            64,
             fig8_4,
         ),
         (
             "fig8_5",
             "A2: strong scaling, BSP implementations",
             "batched",
+            64,
             fig8_5,
         ),
         (
             "fig8_6",
             "A3: strong scaling, selected, small problem",
             "batched",
+            64,
             fig8_6,
         ),
         (
             "fig8_7",
             "A4: strong scaling, incl. hybrid, small problem",
             "batched",
+            64,
             fig8_7,
         ),
         (
             "fig8_10",
             "B1-B6: stencil prediction vs measurement",
             "batched",
+            144,
             fig8_10_to_8_15,
         ),
-        ("fig8_18", "C1: ghost-width adaptation", "batched", fig8_18),
+        (
+            "fig8_18",
+            "C1: ghost-width adaptation",
+            "batched",
+            64,
+            fig8_18,
+        ),
         (
             "collectives",
             "predicted vs simulated collective costs",
             "batched",
+            144,
             collectives_predict_vs_sim,
         ),
         (
             "coll_rt",
             "allreduce through the BSPlib runtime vs prediction",
             "batched",
+            64,
             collectives_runtime,
+        ),
+        (
+            "scale",
+            "sampled microbench + class model vs sim, p to 4096",
+            "batched",
+            4096,
+            scale_p,
         ),
     ]
 }
@@ -1199,14 +1318,22 @@ pub fn registry() -> Vec<(&'static str, &'static str, StochasticPath, Experiment
 pub fn run_experiment(id: &str, dir: &Path, effort: &Effort) -> Option<Vec<PathBuf>> {
     registry()
         .into_iter()
-        .find(|(name, _, _, _)| *name == id)
-        .map(|(_, _, _, f)| f(dir, effort))
+        .find(|(name, _, _, _, _)| *name == id)
+        .map(|(_, _, _, _, f)| f(dir, effort))
 }
 
 /// The stochastic path an experiment runs on, by id.
 pub fn stochastic_path(id: &str) -> Option<StochasticPath> {
     registry()
         .into_iter()
-        .find(|(name, _, _, _)| *name == id)
-        .map(|(_, _, path, _)| path)
+        .find(|(name, _, _, _, _)| *name == id)
+        .map(|(_, _, path, _, _)| path)
+}
+
+/// The largest process count an experiment touches, by id.
+pub fn max_procs(id: &str) -> Option<usize> {
+    registry()
+        .into_iter()
+        .find(|(name, _, _, _, _)| *name == id)
+        .map(|(_, _, _, p, _)| p)
 }

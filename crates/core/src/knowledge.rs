@@ -53,7 +53,19 @@ pub struct KnowledgeTrace {
     first_known: Vec<usize>,
 }
 
-impl KnowledgeTrace {
+/// A borrowing view of a verification outcome — the same queries as
+/// [`KnowledgeTrace`], over tables owned elsewhere. This is what the
+/// scratch-pooled entry point [`VerifyScratch::verify`] returns: the
+/// `p×p` tables stay in the caller's scratch, so a verify loop touches
+/// the heap only when the process count grows.
+#[derive(Debug, Clone, Copy)]
+pub struct KnowledgeView<'a> {
+    counts: &'a [u64],
+    first_known: &'a [usize],
+    p: usize,
+}
+
+impl<'a> KnowledgeView<'a> {
     /// Knowledge count of pair `(i, j)`: how many acknowledgement paths
     /// inform i of j's arrival.
     pub fn count(&self, i: usize, j: usize) -> u64 {
@@ -116,6 +128,98 @@ impl KnowledgeTrace {
     }
 }
 
+impl KnowledgeTrace {
+    /// Borrow this trace as a [`KnowledgeView`].
+    pub fn view(&self) -> KnowledgeView<'_> {
+        KnowledgeView {
+            counts: &self.counts,
+            first_known: &self.first_known,
+            p: self.p,
+        }
+    }
+
+    /// Knowledge count of pair `(i, j)`: how many acknowledgement paths
+    /// inform i of j's arrival.
+    pub fn count(&self, i: usize, j: usize) -> u64 {
+        self.view().count(i, j)
+    }
+
+    /// True iff every process knows of every arrival.
+    pub fn synchronizes(&self) -> bool {
+        self.view().synchronizes()
+    }
+
+    /// True iff `root` knows of every process' arrival — the gather-side
+    /// rooted goal (all data can reach the root).
+    pub fn root_gathers(&self, root: usize) -> bool {
+        self.view().root_gathers(root)
+    }
+
+    /// True iff every process knows of `root`'s arrival — the
+    /// broadcast-side rooted goal (the root's data can reach everyone).
+    pub fn root_reaches(&self, root: usize) -> bool {
+        self.view().root_reaches(root)
+    }
+
+    /// True iff every process knows of all its predecessors (inclusive
+    /// prefix property: `K(i, j) > 0` for every `j ≤ i`).
+    pub fn prefix_complete(&self) -> bool {
+        self.view().prefix_complete()
+    }
+
+    /// Checks a named goal.
+    pub fn satisfies(&self, goal: KnowledgeGoal) -> bool {
+        self.view().satisfies(goal)
+    }
+
+    /// Pairs `(i, j)` where i never learns of j's arrival — the failure
+    /// trace §5.5 describes as a debugging aid.
+    pub fn unknown_pairs(&self) -> Vec<(usize, usize)> {
+        self.view().unknown_pairs()
+    }
+
+    /// Stage index after which `(i, j)` first became known, or `None`.
+    pub fn first_known(&self, i: usize, j: usize) -> Option<usize> {
+        self.view().first_known(i, j)
+    }
+}
+
+/// Caller-owned scratch for the knowledge recurrence: the three `p×p`
+/// tables (counts, first-known stages, per-stage snapshot) that
+/// [`verify_compiled`] would otherwise allocate per call — 400 MB of
+/// churn per verification at p = 4096. Reused across calls, the tables
+/// are resized once per process count and then recycled in place.
+#[derive(Debug, Default)]
+pub struct VerifyScratch {
+    counts: Vec<u64>,
+    first_known: Vec<usize>,
+    snapshot: Vec<u64>,
+}
+
+impl VerifyScratch {
+    /// Empty scratch; the first verification sizes it.
+    pub fn new() -> VerifyScratch {
+        VerifyScratch::default()
+    }
+
+    /// Runs the Eq. 5.1/5.2 recurrence over `plan` into this scratch and
+    /// returns a borrowing view of the outcome. Allocation-free once the
+    /// tables have grown to the largest process count seen.
+    pub fn verify(&mut self, plan: &CompiledPattern) -> KnowledgeView<'_> {
+        run_recurrence(
+            plan,
+            &mut self.counts,
+            &mut self.first_known,
+            &mut self.snapshot,
+        );
+        KnowledgeView {
+            counts: &self.counts,
+            first_known: &self.first_known,
+            p: plan.p(),
+        }
+    }
+}
+
 /// Runs the Eq. 5.1/5.2 recurrence over any staged pattern. Compiles the
 /// pattern and delegates to [`verify_compiled`]; callers verifying a
 /// pattern they already compiled should go there directly.
@@ -127,31 +231,49 @@ pub fn verify_synchronizes<P: CommPattern + ?Sized>(pattern: &P) -> KnowledgeTra
 /// signal enumeration of every stage reads CSR slices instead of scanning
 /// dense rows.
 pub fn verify_compiled(plan: &CompiledPattern) -> KnowledgeTrace {
+    let mut counts = Vec::new();
+    let mut first_known = Vec::new();
+    let mut snapshot = Vec::new();
+    run_recurrence(plan, &mut counts, &mut first_known, &mut snapshot);
+    KnowledgeTrace {
+        counts,
+        p: plan.p(),
+        first_known,
+    }
+}
+
+/// The shared recurrence core: clears and (re)sizes the three tables to
+/// `p×p` — allocation-free when they are already large enough — then
+/// runs the stage loop.
+fn run_recurrence(
+    plan: &CompiledPattern,
+    counts: &mut Vec<u64>,
+    first_known: &mut Vec<usize>,
+    snapshot: &mut Vec<u64>,
+) {
     let p = plan.p();
-    let mut counts = vec![0u64; p * p];
-    let mut first_known = vec![usize::MAX; p * p];
+    counts.clear();
+    counts.resize(p * p, 0);
+    first_known.clear();
+    first_known.resize(p * p, usize::MAX);
+    snapshot.clear();
+    snapshot.resize(p * p, 0);
     // K = I.
     for i in 0..p {
         counts[i * p + i] = 1;
         first_known[i * p + i] = 0;
     }
-    let mut snapshot = vec![0u64; p * p];
     for stage_idx in 0..plan.stages() {
         // K ← K + K × S. In index form: when i signals j in this stage,
         // everything i knows flows to j: add(j, *) += K(i, *).
-        snapshot.copy_from_slice(&counts);
+        snapshot.copy_from_slice(counts);
         apply_stage(
-            &snapshot,
-            &mut counts,
-            &mut first_known,
+            snapshot,
+            counts,
+            first_known,
             plan.stage(stage_idx),
             stage_idx,
         );
-    }
-    KnowledgeTrace {
-        counts,
-        p,
-        first_known,
     }
 }
 
@@ -340,5 +462,42 @@ mod tests {
         for i in 0..6 {
             assert!(t.count(i, i) >= 1);
         }
+    }
+
+    /// One scratch reused across patterns of different sizes — including
+    /// shrinking ones — reproduces the allocating entry point exactly.
+    #[test]
+    fn scratch_verify_matches_fresh_verify() {
+        use crate::pattern::CommPattern;
+        let mut scratch = VerifyScratch::new();
+        for p in [17usize, 8, 31, 2, 8] {
+            let plan = dissemination(p).plan();
+            let fresh = verify_compiled(&plan);
+            let pooled = scratch.verify(&plan);
+            assert_eq!(pooled.synchronizes(), fresh.synchronizes(), "p={p}");
+            for i in 0..p {
+                for j in 0..p {
+                    assert_eq!(pooled.count(i, j), fresh.count(i, j), "p={p} ({i},{j})");
+                    assert_eq!(
+                        pooled.first_known(i, j),
+                        fresh.first_known(i, j),
+                        "p={p} ({i},{j})"
+                    );
+                }
+            }
+            assert_eq!(pooled.unknown_pairs(), fresh.unknown_pairs());
+        }
+        // Goal queries flow through the same view on both paths.
+        let gather = BarrierPattern::new(
+            "gather",
+            4,
+            vec![IMat::from_edges(4, &[(1, 0), (2, 0), (3, 0)])],
+        );
+        let plan = gather.plan();
+        let view = scratch.verify(&plan);
+        assert!(view.satisfies(KnowledgeGoal::RootGathers(0)));
+        assert!(!view.satisfies(KnowledgeGoal::AllToAll));
+        assert!(!view.prefix_complete());
+        assert!(view.root_gathers(0) && !view.root_reaches(0));
     }
 }

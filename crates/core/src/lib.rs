@@ -51,11 +51,13 @@ pub use compute::{cross_mapping_costs, imbalance, superstep_times};
 pub use hockney::{comm_times, HeteroHockney, Hockney};
 pub use knowledge::{
     verify_compiled, verify_goal, verify_synchronizes, KnowledgeGoal, KnowledgeTrace,
+    KnowledgeView, VerifyScratch,
 };
 pub use matrix::{DMat, IMat};
 pub use pattern::{BarrierPattern, CommPattern};
 pub use plan::{CompiledPattern, StagePlan};
 pub use predictor::{
-    predict_barrier, predict_compiled, BarrierPrediction, CommCosts, PayloadSchedule,
+    predict_barrier, predict_compiled, predict_compiled_with, BarrierPrediction, CommCosts,
+    CostModel, PayloadSchedule,
 };
 pub use superstep::{overlap_estimate, SuperstepModel};

@@ -85,6 +85,55 @@ impl StagePlan {
         }
     }
 
+    /// Compiles one stage directly from an edge list — O(p + E log E)
+    /// time and O(p + E) storage, never materializing a dense incidence
+    /// matrix. This is the authoring route of the scale path: a
+    /// dissemination stage at p = 4096 is 4096 edges (64 KB of CSR)
+    /// where the dense form is a 16.7 MB boolean matrix.
+    ///
+    /// Edges are `(src, dst)` pairs; duplicates collapse and order is
+    /// irrelevant, so the result is identical to routing the same edges
+    /// through [`IMat::from_edges`] and [`StagePlan::from_imat`] — both
+    /// directions enumerate ascending, the compiled-form contract.
+    pub fn from_edges(p: usize, edges: &[(usize, usize)]) -> StagePlan {
+        let mut es = edges.to_vec();
+        es.sort_unstable();
+        es.dedup();
+        let mut dsts = Vec::with_capacity(es.len());
+        let mut dsts_off = Vec::with_capacity(p + 1);
+        dsts_off.push(0);
+        let mut in_deg = vec![0usize; p];
+        for &(i, j) in &es {
+            assert!(i < p && j < p, "edge ({i},{j}) out of range for p={p}");
+            in_deg[j] += 1;
+        }
+        let mut srcs_off = Vec::with_capacity(p + 1);
+        srcs_off.push(0);
+        for j in 0..p {
+            srcs_off.push(srcs_off[j] + in_deg[j]);
+        }
+        let mut srcs = vec![0usize; es.len()];
+        let mut cursor = srcs_off[..p].to_vec();
+        let mut next = 0usize;
+        for rank in 0..p {
+            while next < es.len() && es[next].0 == rank {
+                let j = es[next].1;
+                dsts.push(j);
+                srcs[cursor[j]] = rank;
+                cursor[j] += 1;
+                next += 1;
+            }
+            dsts_off.push(dsts.len());
+        }
+        StagePlan {
+            p,
+            dsts,
+            dsts_off,
+            srcs,
+            srcs_off,
+        }
+    }
+
     /// Process count.
     pub fn p(&self) -> usize {
         self.p
@@ -152,14 +201,41 @@ impl CompiledPattern {
     /// per pattern, off the repetition hot path.
     pub fn compile<P: CommPattern + ?Sized>(pattern: &P) -> CompiledPattern {
         let p = pattern.p();
-        let n_stages = pattern.stages();
-        let stages: Vec<StagePlan> = (0..n_stages)
+        let stages: Vec<StagePlan> = (0..pattern.stages())
             .map(|s| {
                 let m = pattern.stage(s);
                 assert_eq!(m.n(), p, "stage {s} has wrong dimension");
                 StagePlan::from_imat(m)
             })
             .collect();
+        CompiledPattern::from_stages(pattern.name(), p, stages)
+    }
+
+    /// Compiles a pattern authored directly as per-stage edge lists,
+    /// bypassing the dense [`IMat`] form entirely — the authoring route
+    /// of the scale path, O(p·stages + edges) where the dense route is
+    /// O(p²·stages). Produces exactly what [`CompiledPattern::compile`]
+    /// produces for the same edges.
+    pub fn from_stage_edges(
+        name: &str,
+        p: usize,
+        stage_edges: &[Vec<(usize, usize)>],
+    ) -> CompiledPattern {
+        let stages = stage_edges
+            .iter()
+            .map(|edges| StagePlan::from_edges(p, edges))
+            .collect();
+        CompiledPattern::from_stages(name, p, stages)
+    }
+
+    /// Assembles a compiled pattern from already-built stage plans and
+    /// derives the §5.6.5 posted/last-send tables — the shared tail of
+    /// both the dense and the sparse authoring routes.
+    pub fn from_stages(name: &str, p: usize, stages: Vec<StagePlan>) -> CompiledPattern {
+        for (s, stage) in stages.iter().enumerate() {
+            assert_eq!(stage.p(), p, "stage {s} has wrong dimension");
+        }
+        let n_stages = stages.len();
         let mut posted = vec![false; n_stages * p];
         let mut last_send = vec![usize::MAX; (n_stages + 1) * p];
         for s in 0..n_stages {
@@ -173,7 +249,7 @@ impl CompiledPattern {
         }
         let jitter_draws = stages.iter().map(StagePlan::jitter_draws).sum();
         CompiledPattern {
-            name: pattern.name().to_string(),
+            name: name.to_string(),
             p,
             stages,
             posted,
@@ -330,6 +406,43 @@ mod tests {
         assert_eq!(plan.jitter_draws(), want);
         // Dissemination: every rank signals once per stage.
         assert_eq!(want, plan.stages() * (13 + 13 * SIGNAL_JITTER_DRAWS));
+    }
+
+    /// The sparse authoring route (edge lists → CSR, no dense matrix)
+    /// produces bit-identical compiled patterns to the dense route, for
+    /// shuffled and duplicated edge input.
+    #[test]
+    fn sparse_authoring_matches_dense_route() {
+        for p in [2usize, 5, 13, 24, 64] {
+            let stages = crate::pattern::log2_ceil(p);
+            let mut stage_edges: Vec<Vec<(usize, usize)>> = (0..stages)
+                .map(|s| (0..p).map(|i| (i, (i + (1 << s)) % p)).collect())
+                .collect();
+            // Order must not matter, nor duplicates.
+            for edges in &mut stage_edges {
+                edges.reverse();
+                let dup = edges[0];
+                edges.push(dup);
+            }
+            let sparse = CompiledPattern::from_stage_edges("dissemination", p, &stage_edges);
+            let dense = CompiledPattern::compile(&dissemination(p));
+            assert_eq!(sparse, dense, "p={p}");
+        }
+        // An asymmetric tree-like shape exercises uneven degrees.
+        let edges = vec![vec![(1, 0), (2, 0), (3, 1)], vec![(0, 1), (0, 2), (0, 3)]];
+        let sparse = CompiledPattern::from_stage_edges("t", 4, &edges);
+        let mats = vec![
+            IMat::from_edges(4, &edges[0]),
+            IMat::from_edges(4, &edges[1]),
+        ];
+        let dense = CompiledPattern::compile(&BarrierPattern::new("t", 4, mats));
+        assert_eq!(sparse, dense);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sparse_authoring_rejects_out_of_range_edges() {
+        StagePlan::from_edges(4, &[(0, 4)]);
     }
 
     #[test]

@@ -71,6 +71,39 @@ impl CommCosts {
     }
 }
 
+/// The point-to-point cost queries the predictor reads, abstracted over
+/// storage. [`CommCosts`] answers them from dense benchmarked matrices —
+/// O(p²) floats, the right form when every pair was measured. Scale
+/// callers answer them from a few per-link-class parameters plus the
+/// O(ranks) placement hierarchy (see `hpm-simnet`'s `ClassCosts`), so a
+/// p = 4096 prediction never materializes a 16.7M-entry matrix.
+pub trait CostModel {
+    /// Process count the model covers.
+    fn p(&self) -> usize;
+    /// Overhead: invocation overhead `O_ii` on the diagonal, per-request
+    /// overhead `O_ij` off it.
+    fn o(&self, i: usize, j: usize) -> f64;
+    /// One-way latency `L_ij` (zero on the diagonal).
+    fn l(&self, i: usize, j: usize) -> f64;
+    /// Inverse bandwidth `β_ij`.
+    fn beta(&self, i: usize, j: usize) -> f64;
+}
+
+impl CostModel for CommCosts {
+    fn p(&self) -> usize {
+        CommCosts::p(self)
+    }
+    fn o(&self, i: usize, j: usize) -> f64 {
+        self.o.get(i, j)
+    }
+    fn l(&self, i: usize, j: usize) -> f64 {
+        self.l.get(i, j)
+    }
+    fn beta(&self, i: usize, j: usize) -> f64 {
+        self.beta.get(i, j)
+    }
+}
+
 /// Per-stage message payload sizes in bytes (§6.5). Stages beyond the
 /// schedule's length carry zero payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -150,22 +183,22 @@ impl BarrierPrediction {
 /// Eq. 5.4 stage cost with payload extension and both refinements, over
 /// the compiled pattern: destination slices from the CSR plan, posted
 /// receivers from the precomputed table.
-fn stage_cost(
+fn stage_cost<C: CostModel + ?Sized>(
     plan: &CompiledPattern,
-    costs: &CommCosts,
+    costs: &C,
     payload: &PayloadSchedule,
     s: usize,
     i: usize,
 ) -> f64 {
     let bytes = payload.bytes(s) as f64;
     let mut latency_term = 0.0;
-    let mut max_term = costs.o.get(i, i); // refinement 1: floor at O_ii
+    let mut max_term = costs.o(i, i); // refinement 1: floor at O_ii
     for &j in plan.stage(s).dsts(i) {
-        latency_term += 2.0 * costs.l.get(i, j) + bytes * costs.beta.get(i, j);
+        latency_term += 2.0 * costs.l(i, j) + bytes * costs.beta(i, j);
         let o = if plan.is_posted(j, s) {
-            costs.o.get(j, j) // refinement 2: posted receiver
+            costs.o(j, j) // refinement 2: posted receiver
         } else {
-            costs.o.get(i, j)
+            costs.o(i, j)
         };
         if o > max_term {
             max_term = o;
@@ -197,6 +230,19 @@ pub fn predict_barrier<P: CommPattern + ?Sized>(
 pub fn predict_compiled(
     plan: &CompiledPattern,
     costs: &CommCosts,
+    payload: &PayloadSchedule,
+) -> BarrierPrediction {
+    predict_compiled_with(plan, costs, payload)
+}
+
+/// [`predict_compiled`] over any [`CostModel`] — the entry point for
+/// class-level cost models, whose storage is independent of p. The DP
+/// itself is O(p·stages + edges) in time and O(p·stages) in its returned
+/// tables, so with a class-level model the whole prediction is free of
+/// pairwise-dense anything.
+pub fn predict_compiled_with<C: CostModel + ?Sized>(
+    plan: &CompiledPattern,
+    costs: &C,
     payload: &PayloadSchedule,
 ) -> BarrierPrediction {
     assert_eq!(

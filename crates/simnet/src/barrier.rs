@@ -369,12 +369,26 @@ impl<'a> BarrierSim<'a> {
         reps: usize,
         seed: u64,
     ) -> BarrierMeasurement {
-        let plan = pattern.plan();
+        self.measure_compiled(&pattern.plan(), payload, reps, seed)
+    }
+
+    /// [`BarrierSim::measure`] over an already-compiled pattern — the
+    /// entry point of the scale path, where patterns are authored
+    /// sparsely (see `StagePlan::from_edges`) and a dense intermediate
+    /// would dwarf the simulation state. Identical samples to
+    /// [`BarrierSim::measure`] on the pattern the plan was compiled from.
+    pub fn measure_compiled(
+        &self,
+        plan: &CompiledPattern,
+        payload: &PayloadSchedule,
+        reps: usize,
+        seed: u64,
+    ) -> BarrierMeasurement {
         let batches = reps.div_ceil(MEASURE_LANES);
         let chunks = hpm_par::par_map_indexed_with(batches, LaneScratch::new, |scratch, b| {
             let first = b * MEASURE_LANES;
             let lanes = MEASURE_LANES.min(reps - first);
-            self.run_batch_compiled(&plan, payload, seed, first as u64, lanes, scratch)
+            self.run_batch_compiled(plan, payload, seed, first as u64, lanes, scratch)
                 .to_vec()
         });
         BarrierMeasurement {

@@ -41,6 +41,9 @@ pub use exchange::{
     exchange_jitter_draws, resolve_exchange, resolve_exchange_into, ExchangeMsg, ExchangeResult,
     ExchangeScratch,
 };
-pub use microbench::{bench_platform, MicrobenchConfig, PlatformProfile};
+pub use microbench::{
+    bench_platform, bench_platform_classes, ClassCosts, ClassProfile, MicrobenchConfig,
+    PlatformProfile,
+};
 pub use net::NetState;
 pub use params::{LinkCost, PlatformParams};

@@ -39,3 +39,21 @@ pub fn node_2x4() -> ClusterShape {
 pub fn athlon_x2() -> ClusterShape {
     ClusterShape::new(1, 1, 2)
 }
+
+/// A 32-node scale-up of the Xeon cluster shape (256 cores) — the first
+/// rung of the p ≥ 256 scale study.
+pub fn cluster_32x2x4() -> ClusterShape {
+    ClusterShape::new(32, 2, 4)
+}
+
+/// A 128-node scale-up of the Xeon cluster shape (1024 cores) — the
+/// middle rung of the scale study and the CI regression-gate scale.
+pub fn cluster_128x2x4() -> ClusterShape {
+    ClusterShape::new(128, 2, 4)
+}
+
+/// A 512-node scale-up of the Xeon cluster shape (4096 cores) — the
+/// ROADMAP's production-scale target.
+pub fn cluster_512x2x4() -> ClusterShape {
+    ClusterShape::new(512, 2, 4)
+}

@@ -25,41 +25,43 @@ pub enum PlacementPolicy {
     Spread,
 }
 
-/// Precomputed pairwise link classes and node residency of a placement.
+/// Hierarchical link classification and node residency of a placement.
 ///
 /// Per-message link classification sits on the innermost loop of every
 /// simulator path (each signal round trip classifies its endpoints, and
-/// NIC egress accounting asks for the sender's node), so the placement
-/// compiles the full `P×P` [`LinkClass`] matrix — one byte per ordered
-/// pair — and the rank → node map once at construction. Classification is
-/// then a single indexed load instead of two `CoreId` fetches and a
-/// coordinate comparison chain.
+/// NIC egress accounting asks for the sender's node). The class of an
+/// ordered pair is a pure function of the machine hierarchy — same rank,
+/// same socket, same node, or neither — so the map stores only the
+/// rank → node and rank → global-socket arrays (O(ranks) bytes) and
+/// recomputes the class from two indexed loads and a comparison chain.
+/// Earlier revisions compiled the full `P×P` byte matrix instead; at
+/// p = 4096 that is 16.7 MB per placement, and the dense derivation now
+/// survives only as the test oracle (`shape.link_class` over `core_of`).
+///
+/// Because every rank occupies a distinct core, the comparison chain is
+/// exactly [`ClusterShape::link_class`] on the ranks' cores: equal ranks
+/// are the self loop, distinct ranks on one socket share that socket.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LinkMap {
     nprocs: usize,
-    classes: Vec<LinkClass>,
     node_of: Vec<usize>,
+    /// Global socket index (`node * sockets_per_node + socket`) per rank.
+    socket_of: Vec<usize>,
 }
 
 impl LinkMap {
     fn new(shape: &ClusterShape, cores: &[CoreId]) -> LinkMap {
-        let nprocs = cores.len();
-        let mut classes = Vec::with_capacity(nprocs * nprocs);
-        for &a in cores {
-            for &b in cores {
-                classes.push(shape.link_class(a, b));
-            }
-        }
+        let spn = shape.sockets_per_node();
         LinkMap {
-            nprocs,
-            classes,
+            nprocs: cores.len(),
             node_of: cores.iter().map(|c| c.node).collect(),
+            socket_of: cores.iter().map(|c| c.node * spn + c.socket).collect(),
         }
     }
 
-    /// Link class between two ranks — one indexed load. Debug builds
-    /// keep the old per-rank bounds check (a flat index can be in range
-    /// while `b` is not).
+    /// Link class between two ranks — two indexed loads and a comparison
+    /// chain. Debug builds keep an explicit pair bounds check with rank
+    /// context.
     #[inline]
     pub fn class(&self, a: usize, b: usize) -> LinkClass {
         debug_assert!(
@@ -67,13 +69,33 @@ impl LinkMap {
             "rank pair ({a},{b}) out of range for {} processes",
             self.nprocs
         );
-        self.classes[a * self.nprocs + b]
+        if a == b {
+            LinkClass::SelfLoop
+        } else if self.node_of[a] != self.node_of[b] {
+            LinkClass::Remote
+        } else if self.socket_of[a] != self.socket_of[b] {
+            LinkClass::SameNode
+        } else {
+            LinkClass::SameSocket
+        }
     }
 
     /// Node hosting a rank — the cached `core_of(rank).node`.
     #[inline]
     pub fn node_of(&self, rank: usize) -> usize {
         self.node_of[rank]
+    }
+
+    /// Global socket index (`node * sockets_per_node + socket`) hosting a
+    /// rank — the second hierarchy level the classifier reads.
+    #[inline]
+    pub fn socket_of(&self, rank: usize) -> usize {
+        self.socket_of[rank]
+    }
+
+    /// Heap bytes held by the map: two words per rank, no pairwise table.
+    pub fn storage_bytes(&self) -> usize {
+        std::mem::size_of::<usize>() * (self.node_of.capacity() + self.socket_of.capacity())
     }
 }
 
@@ -126,11 +148,12 @@ impl Placement {
         for (r, c) in cores.iter().enumerate() {
             node_ranks[c.node].push(r);
         }
-        let remote_pairs = links
-            .classes
-            .iter()
-            .filter(|&&c| c == LinkClass::Remote)
-            .count();
+        // Closed form instead of a P×P sweep: an ordered pair is remote
+        // iff its ranks sit on different nodes, so the remote count is
+        // all ordered pairs minus the same-node ones (which include the
+        // never-remote diagonal): p² − Σ_n cnt_n².
+        let remote_pairs =
+            nprocs * nprocs - node_ranks.iter().map(|r| r.len() * r.len()).sum::<usize>();
         Placement {
             shape,
             policy,
@@ -200,9 +223,25 @@ impl Placement {
     }
 
     /// Count of remote (cross-node) pairs among all ordered rank pairs —
-    /// counted once at construction.
+    /// computed in closed form at construction (`p² − Σ_n cnt_n²`).
     pub fn remote_pair_count(&self) -> usize {
         self.remote_pairs
+    }
+
+    /// Heap bytes held by the placement's link/residency structures: the
+    /// core list, the hierarchical [`LinkMap`] and the per-node rank
+    /// buckets — O(ranks + nodes) total, asserted at scale so a dense
+    /// pairwise table cannot silently return.
+    pub fn storage_bytes(&self) -> usize {
+        let word = std::mem::size_of::<usize>();
+        self.cores.capacity() * std::mem::size_of::<CoreId>()
+            + self.links.storage_bytes()
+            + self.node_ranks.capacity() * std::mem::size_of::<Vec<usize>>()
+            + self
+                .node_ranks
+                .iter()
+                .map(|r| r.capacity() * word)
+                .sum::<usize>()
     }
 }
 
@@ -310,9 +349,9 @@ mod tests {
         Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 65);
     }
 
-    /// The precomputed LinkMap and node buckets agree with the direct
-    /// per-pair derivation from core coordinates, for every policy and a
-    /// spread of process counts.
+    /// The hierarchical LinkMap and node buckets agree with the dense
+    /// per-pair oracle (`shape.link_class` over the ranks' cores), for
+    /// every policy and a spread of process counts.
     #[test]
     fn link_map_matches_direct_derivation() {
         let shape = cluster_8x2x4();
@@ -346,6 +385,36 @@ mod tests {
                 assert!(p.ranks_on_node(shape.nodes()).is_empty());
                 assert!(p.node_ranks(shape.nodes() + 7).is_empty());
             }
+        }
+    }
+
+    /// The scale criterion: at p = 4096 the placement's link/residency
+    /// storage stays O(ranks + nodes) — far below what any pairwise table
+    /// would need (a P×P byte matrix alone is 16.7 MB).
+    #[test]
+    fn placement_storage_stays_linear_at_scale() {
+        let p = Placement::new(crate::cluster_512x2x4(), PlacementPolicy::RoundRobin, 4096);
+        assert_eq!(p.nprocs(), 4096);
+        let bytes = p.storage_bytes();
+        // Generous linear bound: a few machine words per rank plus the
+        // per-node bucket headers.
+        let word = std::mem::size_of::<usize>();
+        let bound = 4096 * (std::mem::size_of::<CoreId>() + 4 * word) + 512 * 4 * word;
+        assert!(
+            bytes <= bound,
+            "placement storage {bytes} B > bound {bound} B"
+        );
+        assert!(
+            bytes < 4096 * 4096,
+            "dense pairwise table is back: {bytes} B"
+        );
+        // The closed-form remote count matches the hierarchy at scale:
+        // round-robin spreads 8 ranks on each of 512 nodes.
+        assert_eq!(p.remote_pair_count(), 4096 * 4096 - 512 * 64);
+        // And the socket level is exposed for stratified sampling.
+        for r in 0..4096 {
+            let c = p.core_of(r);
+            assert_eq!(p.link_map().socket_of(r), c.node * 2 + c.socket);
         }
     }
 }

@@ -36,6 +36,18 @@ impl LinkClass {
         LinkClass::Remote,
     ];
 
+    /// Position of this class in [`LinkClass::ALL`] — a dense index for
+    /// per-class tables (sampled microbenchmarks, class-level cost
+    /// models).
+    pub fn index(&self) -> usize {
+        match self {
+            LinkClass::SelfLoop => 0,
+            LinkClass::SameSocket => 1,
+            LinkClass::SameNode => 2,
+            LinkClass::Remote => 3,
+        }
+    }
+
     /// Short label used in tables.
     pub fn label(&self) -> &'static str {
         match self {

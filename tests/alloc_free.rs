@@ -103,4 +103,36 @@ fn compiled_barrier_repetitions_allocate_nothing() {
             plan.name(),
         );
     }
+
+    // The knowledge verifier through caller-owned scratch: after one
+    // warmup sizes the three p×p tables, repeated verification loops —
+    // including across the two pattern shapes — stay off the heap
+    // entirely (queries through the borrowing view included).
+    let plans = [
+        dissemination(64).plan(),
+        binary_tree(64).plan(),
+        dissemination(48).plan(),
+    ];
+    let mut scratch = hpm::model::knowledge::VerifyScratch::new();
+    assert!(scratch.verify(&plans[0]).synchronizes());
+    let mut min_delta = usize::MAX;
+    for _ in 0..8 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let mut synced = 0usize;
+        for _ in 0..8 {
+            for plan in &plans {
+                let view = scratch.verify(plan);
+                if view.synchronizes() && view.root_gathers(0) {
+                    synced += 1;
+                }
+            }
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(synced, 8 * plans.len());
+        min_delta = min_delta.min(after - before);
+    }
+    assert_eq!(
+        min_delta, 0,
+        "every trial of warm verify loops heap-allocated (min {min_delta})"
+    );
 }

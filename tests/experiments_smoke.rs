@@ -7,7 +7,7 @@ use hpm_bench::experiments::{registry, run_experiment, Effort};
 fn every_experiment_runs_and_writes_output() {
     let dir = std::env::temp_dir().join(format!("hpm-exp-smoke-{}", std::process::id()));
     let effort = Effort::quick();
-    for (id, _, _, _) in registry() {
+    for (id, _, _, _, _) in registry() {
         let paths = run_experiment(id, &dir, &effort)
             .unwrap_or_else(|| panic!("experiment {id} not found"));
         assert!(!paths.is_empty(), "{id} wrote nothing");
@@ -28,7 +28,7 @@ fn unknown_experiment_is_rejected() {
 
 #[test]
 fn registry_ids_are_unique() {
-    let ids: Vec<&str> = registry().iter().map(|(id, _, _, _)| *id).collect();
+    let ids: Vec<&str> = registry().iter().map(|(id, _, _, _, _)| *id).collect();
     let mut dedup = ids.clone();
     dedup.sort_unstable();
     dedup.dedup();

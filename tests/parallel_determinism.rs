@@ -163,6 +163,68 @@ fn experiment_csv_bytes_identical_across_thread_counts() {
     }
 }
 
+/// PR 7 acceptance: the sampled microbenchmark at p = 256 is
+/// bit-deterministic at any thread count (selection is serial on its own
+/// counter stream; measured units are keyed by matrix position), and its
+/// per-class fits land within tolerance of the exhaustive pooled fits —
+/// the exhaustive run measures all 65 280 ordered pairs, the sampled one
+/// a dozen per class.
+#[test]
+fn sampled_microbench_deterministic_and_close_at_p256() {
+    use hpm::simnet::microbench::{bench_platform_classes, MicrobenchConfig};
+    use hpm::topology::{cluster_32x2x4, LinkClass};
+
+    let params = xeon_cluster_params();
+    let placement = Placement::new(cluster_32x2x4(), PlacementPolicy::RoundRobin, 256);
+    let exhaustive_cfg = MicrobenchConfig {
+        reps: 3,
+        max_requests: 2,
+        // Sizes must reach past the latency floor or the cheap classes'
+        // bandwidth slope is pure jitter noise.
+        size_exponents: (0, 12),
+        pair_sample: None,
+    };
+    let sampled_cfg = exhaustive_cfg.with_pair_sample(12);
+
+    let serial = hpm::par::with_threads(Some(1), || {
+        bench_platform_classes(&params, &placement, &sampled_cfg, 2012)
+    });
+    let hw = std::thread::available_parallelism().map_or(4, |n| n.get());
+    for threads in [2, 3, hw.max(2)] {
+        let par = hpm::par::with_threads(Some(threads), || {
+            bench_platform_classes(&params, &placement, &sampled_cfg, 2012)
+        });
+        assert_eq!(serial, par, "sampled profile moved at {threads} threads");
+    }
+
+    let exhaustive = bench_platform_classes(&params, &placement, &exhaustive_cfg, 2012);
+    // Round-robin fills all 32 nodes with 8 ranks each: 24 same-socket
+    // and 32 same-node ordered pairs per node, the rest remote.
+    assert_eq!(
+        exhaustive.sampled_pairs,
+        [0, 32 * 24, 32 * 32, 256 * 256 - 32 * 64]
+    );
+    for class in [
+        LinkClass::SameSocket,
+        LinkClass::SameNode,
+        LinkClass::Remote,
+    ] {
+        let c = class.index();
+        assert_eq!(serial.sampled_pairs[c], 12, "{class:?} sample count");
+        for (name, s, e) in [
+            ("O", serial.o[c], exhaustive.o[c]),
+            ("L", serial.l[c], exhaustive.l[c]),
+            ("beta", serial.beta[c], exhaustive.beta[c]),
+        ] {
+            assert!(
+                (s - e).abs() / e < 0.25,
+                "{class:?} {name}: sampled {s} vs exhaustive {e}"
+            );
+        }
+    }
+    assert_eq!(serial.o_self, exhaustive.o_self, "diagonal pass is shared");
+}
+
 /// A randomized chatter program: every process computes for a
 /// pid-dependent time, then commits a mix of puts, hp-puts and BSMP
 /// sends to its next `fan` neighbours, twice, then halts.

@@ -363,6 +363,50 @@ proptest! {
         }
     }
 
+    /// The hierarchical link map (two O(ranks) arrays and a comparison
+    /// chain) equals the dense per-pair oracle — `shape.link_class` over
+    /// the ranks' cores — for random cluster shapes, every placement
+    /// policy and process counts up to 128; and the closed-form
+    /// remote-pair count `p² − Σ_n cnt_n²` equals the direct O(p²) count.
+    #[test]
+    fn link_map_matches_dense_oracle(
+        nodes in 1usize..10,
+        spn in 1usize..4,
+        cps in 1usize..6,
+        p_pick in 0usize..128,
+    ) {
+        use hpm::topology::{ClusterShape, LinkClass};
+        let shape = ClusterShape::new(nodes, spn, cps);
+        for policy in [
+            PlacementPolicy::RoundRobin,
+            PlacementPolicy::Block,
+            PlacementPolicy::Spread,
+        ] {
+            let cap = if policy == PlacementPolicy::Spread {
+                nodes
+            } else {
+                shape.total_cores()
+            };
+            let p = 1 + p_pick % cap.min(128);
+            let pl = Placement::new(shape, policy, p);
+            let mut remote = 0usize;
+            for a in 0..p {
+                prop_assert_eq!(pl.node_of(a), pl.core_of(a).node);
+                for b in 0..p {
+                    let direct = shape.link_class(pl.core_of(a), pl.core_of(b));
+                    prop_assert_eq!(
+                        pl.link(a, b), direct,
+                        "{:?} p={} pair ({},{})", policy, p, a, b
+                    );
+                    if direct == LinkClass::Remote {
+                        remote += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(pl.remote_pair_count(), remote, "{:?} p={}", policy, p);
+        }
+    }
+
     /// SSS clustering partitions the ranks exactly once.
     #[test]
     fn sss_is_a_partition(p in 2usize..40, nodes in 1usize..6) {
