@@ -1,0 +1,838 @@
+//! Static analysis of compiled communication plans — verdicts without
+//! execution.
+//!
+//! The workspace's hardest-won properties (bit-identical replay at any
+//! lane count, exact jitter-draw accounting, allocation-free staged
+//! execution) are enforced dynamically by goldens and audit tests: they
+//! fire *after* a malformed plan has been executed. This crate is the
+//! static counterpart. [`analyze`] walks a [`CompiledPattern`]'s CSR
+//! stages and derived tables and reports every violation of the
+//! compiled-form contract as a structured [`Diagnostic`], and
+//! [`analyze_with_goal`] additionally decides knowledge-goal
+//! attainability through the §5.5 recurrence — all without running a
+//! single simulated repetition. That is the verdict ROADMAP item 4
+//! (pattern synthesis) needs: machine-generated candidate plans are
+//! rejected by rule name, not by a crashed simulation.
+//!
+//! The rule catalogue (see DESIGN.md, "The static analysis layer"):
+//!
+//! | rule | severity | checks |
+//! |------|----------|--------|
+//! | `csr-offsets` | error | offset arrays: length `p + 1`, start 0, monotone, end at index-array length |
+//! | `csr-order` | error | adjacency spans strictly ascending (sorted, deduplicated) |
+//! | `csr-mirror` | error | `j ∈ dsts(i) ⇔ i ∈ srcs(j)`; Σ out-degree ≡ Σ in-degree ≡ edge count |
+//! | `rank-range` | error | every endpoint in `0..p` |
+//! | `self-send` | error | no `i → i` edges |
+//! | `empty-stage` | error | every stage carries at least one signal |
+//! | `dead-rank` | warning | a rank neither sends nor receives in any stage |
+//! | `jitter-draws` | error | the precomputed draw count ≡ Σ per-stage `p·ENTRY + edges·SIGNAL` |
+//! | `last-send-table` | error | the §5.6.5 last-transmission table matches a recomputation |
+//! | `posted-table` | error | the §5.6.5 posted booleans match their definition |
+//! | `goal-unattainable` | error | the knowledge recurrence reaches the declared [`KnowledgeGoal`] |
+//!
+//! The jitter-draw rule is statically decidable because drawing is part
+//! of the compiled-form contract, not of runtime control flow: the
+//! batched engine consumes exactly [`ENTRY_JITTER_DRAWS`] per process
+//! per stage plus [`SIGNAL_JITTER_DRAWS`] per signal slot, in plan
+//! order, unconditionally. The count is a function of the CSR shape
+//! alone, so the audit that used to live only in simnet's executor
+//! tests (`consumed() == jitter_draws()`) has a static twin here.
+//!
+//! The companion [`lint`] module is pass two: a source scanner (exposed
+//! as the `hpm-analyze --src` binary) that rejects
+//! determinism-contract violations in the simulation crates' code
+//! itself.
+
+pub mod lint;
+
+use hpm_core::knowledge::{KnowledgeGoal, KnowledgeView, VerifyScratch};
+use hpm_core::plan::{CompiledPattern, ENTRY_JITTER_DRAWS, SIGNAL_JITTER_DRAWS};
+use std::fmt;
+
+/// How bad a finding is. `Error` findings make a plan unusable (an
+/// executor would miscount draws, misroute signals or hang); `Warning`
+/// findings are legal but suspicious shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl Severity {
+    /// Lower-case display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// The analyzer's rule catalogue. Every diagnostic names the rule that
+/// produced it, so callers (and the adversarial tests) can match on the
+/// violation kind rather than parse messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// CSR offset arrays malformed: wrong length, non-monotone, or
+    /// inconsistent with the index-array length.
+    CsrOffsets,
+    /// An adjacency span is not strictly ascending (unsorted or
+    /// duplicated entries).
+    CsrOrder,
+    /// The two CSR directions disagree: an edge present in `dsts` is
+    /// missing from `srcs` or vice versa.
+    CsrMirror,
+    /// An edge endpoint lies outside `0..p`.
+    RankRange,
+    /// A rank signals itself.
+    SelfSend,
+    /// A stage carries no signals.
+    EmptyStage,
+    /// A rank neither sends nor receives in any stage.
+    DeadRank,
+    /// The precomputed jitter-draw count disagrees with the CSR shape.
+    JitterDraws,
+    /// The precomputed last-transmission table disagrees with the
+    /// out-degrees it is derived from.
+    LastSendTable,
+    /// The §5.6.5 posted table disagrees with its definition.
+    PostedTable,
+    /// The knowledge recurrence never establishes the declared goal.
+    GoalUnattainable,
+}
+
+impl Rule {
+    /// Stable kebab-case rule name, as printed by `repro analyze`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::CsrOffsets => "csr-offsets",
+            Rule::CsrOrder => "csr-order",
+            Rule::CsrMirror => "csr-mirror",
+            Rule::RankRange => "rank-range",
+            Rule::SelfSend => "self-send",
+            Rule::EmptyStage => "empty-stage",
+            Rule::DeadRank => "dead-rank",
+            Rule::JitterDraws => "jitter-draws",
+            Rule::LastSendTable => "last-send-table",
+            Rule::PostedTable => "posted-table",
+            Rule::GoalUnattainable => "goal-unattainable",
+        }
+    }
+}
+
+/// One analyzer finding: which rule fired, where, and why.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    /// Stage the finding is anchored to, when it is stage-local.
+    pub stage: Option<usize>,
+    /// Ranks involved, capped at [`MAX_LISTED`] (the message carries the
+    /// total when the list is truncated).
+    pub ranks: Vec<usize>,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity.name(), self.rule.name())?;
+        if let Some(s) = self.stage {
+            write!(f, " stage {s}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Rank/pair lists inside a single diagnostic are capped at this many
+/// entries; the message records the uncapped total.
+pub const MAX_LISTED: usize = 8;
+
+/// The analyzer, holding the reusable knowledge-verification scratch.
+/// Analyzing many plans through one `Analyzer` touches the heap only
+/// when the process count grows — the same scratch-pooling contract as
+/// [`VerifyScratch`] itself.
+pub struct Analyzer {
+    scratch: VerifyScratch,
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Analyzer::new()
+    }
+}
+
+impl Analyzer {
+    #[must_use]
+    pub fn new() -> Analyzer {
+        Analyzer {
+            scratch: VerifyScratch::new(),
+        }
+    }
+
+    /// Runs every structural rule over `plan` — everything except
+    /// knowledge-goal attainability, which needs a declared goal (see
+    /// [`Analyzer::analyze_with_goal`]). Returns an empty vector for a
+    /// well-formed plan.
+    #[must_use]
+    pub fn analyze(&mut self, plan: &CompiledPattern) -> Vec<Diagnostic> {
+        structural(plan)
+    }
+
+    /// Structural rules plus knowledge-goal attainability. The §5.5
+    /// recurrence only runs when the structural pass found no errors —
+    /// a malformed CSR is not worth tracing knowledge through, and may
+    /// not even be safe to index.
+    #[must_use]
+    pub fn analyze_with_goal(
+        &mut self,
+        plan: &CompiledPattern,
+        goal: KnowledgeGoal,
+    ) -> Vec<Diagnostic> {
+        let mut diags = structural(plan);
+        if diags.iter().any(|d| d.severity == Severity::Error) {
+            return diags;
+        }
+        let view = self.scratch.verify(plan);
+        if !view.satisfies(goal) {
+            diags.push(goal_diagnostic(&view, plan.p(), goal));
+        }
+        diags
+    }
+}
+
+/// One-shot structural analysis — convenience over [`Analyzer::analyze`]
+/// for callers that do not amortize the scratch.
+#[must_use]
+pub fn analyze(plan: &CompiledPattern) -> Vec<Diagnostic> {
+    Analyzer::new().analyze(plan)
+}
+
+/// One-shot structural + goal analysis.
+#[must_use]
+pub fn analyze_with_goal(plan: &CompiledPattern, goal: KnowledgeGoal) -> Vec<Diagnostic> {
+    Analyzer::new().analyze_with_goal(plan, goal)
+}
+
+/// Describes how an offset array violates the CSR shape, or `None` when
+/// it is well-formed: length `p + 1`, starts at 0, monotone
+/// non-decreasing, ends at the index-array length.
+fn offsets_error(off: &[usize], p: usize, indices_len: usize) -> Option<String> {
+    if off.len() != p + 1 {
+        return Some(format!(
+            "offset array has {} entries, want p + 1 = {}",
+            off.len(),
+            p + 1
+        ));
+    }
+    if off[0] != 0 {
+        return Some(format!("offset array starts at {}, want 0", off[0]));
+    }
+    if let Some(i) = (0..p).find(|&i| off[i] > off[i + 1]) {
+        return Some(format!(
+            "offsets decrease at rank {i}: {} > {}",
+            off[i],
+            off[i + 1]
+        ));
+    }
+    if off[p] != indices_len {
+        return Some(format!(
+            "offsets end at {}, but the index array holds {} entries",
+            off[p], indices_len
+        ));
+    }
+    None
+}
+
+/// Renders a capped rank list plus total, e.g. `3 ranks: [0, 2, 5]`.
+fn capped(label: &str, all: usize, listed: &[usize]) -> String {
+    let ell = if all > listed.len() { ", …" } else { "" };
+    let shown: Vec<String> = listed.iter().map(|r| r.to_string()).collect();
+    format!("{all} {label}: [{}{ell}]", shown.join(", "))
+}
+
+/// The structural pass shared by [`Analyzer::analyze`] and
+/// [`Analyzer::analyze_with_goal`].
+fn structural(plan: &CompiledPattern) -> Vec<Diagnostic> {
+    let p = plan.p();
+    let mut diags = Vec::new();
+    // Stages whose CSR arrays can be indexed safely; the derived-table
+    // rules only run when every stage is trusted.
+    let mut all_trusted = true;
+
+    for s in 0..plan.stages() {
+        let stage = plan.stage(s);
+        let mut trusted = true;
+
+        if stage.p() != p {
+            diags.push(Diagnostic {
+                severity: Severity::Error,
+                stage: Some(s),
+                ranks: vec![],
+                rule: Rule::CsrOffsets,
+                message: format!("stage declares p = {}, plan declares p = {}", stage.p(), p),
+            });
+            all_trusted = false;
+            continue;
+        }
+        for (dir, off, len) in [
+            ("dst", stage.dst_offsets(), stage.dst_indices().len()),
+            ("src", stage.src_offsets(), stage.src_indices().len()),
+        ] {
+            if let Some(err) = offsets_error(off, p, len) {
+                diags.push(Diagnostic {
+                    severity: Severity::Error,
+                    stage: Some(s),
+                    ranks: vec![],
+                    rule: Rule::CsrOffsets,
+                    message: format!("{dir} {err}"),
+                });
+                trusted = false;
+            }
+        }
+        if !trusted {
+            all_trusted = false;
+            continue;
+        }
+
+        // Per-span rules: order, range, self-sends. An out-of-range
+        // endpoint poisons the mirror check (it has no span to mirror
+        // into), so track it.
+        let mut in_range = true;
+        for (dir, spans) in [("dsts", false), ("srcs", true)] {
+            for r in 0..p {
+                let span = if spans { stage.srcs(r) } else { stage.dsts(r) };
+                if span.windows(2).any(|w| w[0] >= w[1]) {
+                    diags.push(Diagnostic {
+                        severity: Severity::Error,
+                        stage: Some(s),
+                        ranks: vec![r],
+                        rule: Rule::CsrOrder,
+                        message: format!("{dir}({r}) is not strictly ascending: {span:?}"),
+                    });
+                }
+                let bad: Vec<usize> = span.iter().copied().filter(|&x| x >= p).collect();
+                if !bad.is_empty() {
+                    in_range = false;
+                    let listed: Vec<usize> = bad.iter().copied().take(MAX_LISTED).collect();
+                    diags.push(Diagnostic {
+                        severity: Severity::Error,
+                        stage: Some(s),
+                        ranks: vec![r],
+                        rule: Rule::RankRange,
+                        message: format!(
+                            "{dir}({r}) holds {} for p = {p}",
+                            capped("out-of-range ranks", bad.len(), &listed)
+                        ),
+                    });
+                }
+                if !spans && span.contains(&r) {
+                    diags.push(Diagnostic {
+                        severity: Severity::Error,
+                        stage: Some(s),
+                        ranks: vec![r],
+                        rule: Rule::SelfSend,
+                        message: format!("rank {r} signals itself"),
+                    });
+                }
+            }
+        }
+
+        // Mirror consistency: the two directions must enumerate the same
+        // edge set. Only meaningful when every endpoint has a span.
+        if in_range {
+            let mut missing: Vec<(usize, usize)> = Vec::new();
+            for i in 0..p {
+                for &j in stage.dsts(i) {
+                    if !stage.srcs(j).contains(&i) {
+                        missing.push((i, j));
+                    }
+                }
+            }
+            for j in 0..p {
+                for &i in stage.srcs(j) {
+                    if !stage.dsts(i).contains(&j) {
+                        missing.push((i, j));
+                    }
+                }
+            }
+            if stage.dst_indices().len() != stage.src_indices().len() {
+                diags.push(Diagnostic {
+                    severity: Severity::Error,
+                    stage: Some(s),
+                    ranks: vec![],
+                    rule: Rule::CsrMirror,
+                    message: format!(
+                        "Σ out-degree = {} but Σ in-degree = {}",
+                        stage.dst_indices().len(),
+                        stage.src_indices().len()
+                    ),
+                });
+            }
+            if !missing.is_empty() {
+                let listed: Vec<usize> = missing
+                    .iter()
+                    .take(MAX_LISTED / 2)
+                    .flat_map(|&(i, j)| [i, j])
+                    .collect();
+                let shown: Vec<String> = missing
+                    .iter()
+                    .take(MAX_LISTED / 2)
+                    .map(|&(i, j)| format!("{i}→{j}"))
+                    .collect();
+                let ell = if missing.len() > MAX_LISTED / 2 {
+                    ", …"
+                } else {
+                    ""
+                };
+                diags.push(Diagnostic {
+                    severity: Severity::Error,
+                    stage: Some(s),
+                    ranks: listed,
+                    rule: Rule::CsrMirror,
+                    message: format!(
+                        "{} edges present in one direction only: [{}{ell}]",
+                        missing.len(),
+                        shown.join(", ")
+                    ),
+                });
+            }
+        }
+
+        if stage.edge_count() == 0 {
+            diags.push(Diagnostic {
+                severity: Severity::Error,
+                stage: Some(s),
+                ranks: vec![],
+                rule: Rule::EmptyStage,
+                message: "stage carries no signals".to_string(),
+            });
+        }
+    }
+
+    if !all_trusted {
+        return diags;
+    }
+
+    // Dead ranks: legal (a zero-stage pattern at p = 1 is how collectives
+    // degenerate) but suspicious in any staged pattern — a rank the
+    // knowledge recurrence can never inform.
+    if plan.stages() > 0 {
+        let dead: Vec<usize> = (0..p)
+            .filter(|&r| {
+                (0..plan.stages())
+                    .all(|s| plan.stage(s).out_degree(r) == 0 && plan.stage(s).in_degree(r) == 0)
+            })
+            .collect();
+        if !dead.is_empty() {
+            let listed: Vec<usize> = dead.iter().copied().take(MAX_LISTED).collect();
+            diags.push(Diagnostic {
+                severity: Severity::Warning,
+                stage: None,
+                ranks: listed.clone(),
+                rule: Rule::DeadRank,
+                message: capped("ranks never send or receive", dead.len(), &listed),
+            });
+        }
+    }
+
+    // Jitter-draw accounting: the precomputed count the batched engine
+    // sizes its tables from must equal the sum the staged executor will
+    // actually consume — a pure function of the CSR shape.
+    let want: usize = (0..plan.stages())
+        .map(|s| p * ENTRY_JITTER_DRAWS + plan.stage(s).edge_count() * SIGNAL_JITTER_DRAWS)
+        .sum();
+    if plan.jitter_draws() != want {
+        diags.push(Diagnostic {
+            severity: Severity::Error,
+            stage: None,
+            ranks: vec![],
+            rule: Rule::JitterDraws,
+            message: format!(
+                "plan reports {} jitter draws but the stages consume {want} \
+                 ({ENTRY_JITTER_DRAWS}/process/stage + {SIGNAL_JITTER_DRAWS}/signal)",
+                plan.jitter_draws()
+            ),
+        });
+    }
+
+    // §5.6.5 derived tables: recompute both from the out-degrees and
+    // compare. `last_send` first — `posted` is defined in terms of it.
+    let n_stages = plan.stages();
+    let mut last_send = vec![usize::MAX; (n_stages + 1) * p];
+    for s in 0..n_stages {
+        for i in 0..p {
+            let prev = last_send[s * p + i];
+            last_send[(s + 1) * p + i] = if plan.stage(s).out_degree(i) > 0 {
+                s
+            } else {
+                prev
+            };
+        }
+    }
+    if plan.last_send_table() != last_send.as_slice() {
+        let bad: Vec<(usize, usize)> = table_mismatches(plan.last_send_table(), &last_send, p);
+        diags.push(Diagnostic {
+            severity: Severity::Error,
+            stage: bad.first().map(|&(s, _)| s),
+            ranks: bad.iter().map(|&(_, i)| i).take(MAX_LISTED).collect(),
+            rule: Rule::LastSendTable,
+            message: table_message("last-send", plan.last_send_table().len(), &last_send, &bad),
+        });
+    }
+    let mut posted = vec![false; n_stages * p];
+    for s in 0..n_stages {
+        for i in 0..p {
+            let prev = last_send[s * p + i];
+            posted[s * p + i] = s > 0 && (prev == usize::MAX || prev + 1 < s);
+        }
+    }
+    if plan.posted_table() != posted.as_slice() {
+        let bad: Vec<(usize, usize)> = plan
+            .posted_table()
+            .iter()
+            .zip(posted.iter())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(k, _)| (k / p, k % p))
+            .collect();
+        diags.push(Diagnostic {
+            severity: Severity::Error,
+            stage: bad.first().map(|&(s, _)| s),
+            ranks: bad.iter().map(|&(_, i)| i).take(MAX_LISTED).collect(),
+            rule: Rule::PostedTable,
+            message: table_message("posted", plan.posted_table().len(), &posted, &bad),
+        });
+    }
+
+    diags
+}
+
+/// `(row, rank)` positions where two same-shape tables differ; when the
+/// shapes differ the answer is the whole table, represented empty.
+fn table_mismatches(got: &[usize], want: &[usize], p: usize) -> Vec<(usize, usize)> {
+    if got.len() != want.len() {
+        return vec![];
+    }
+    got.iter()
+        .zip(want.iter())
+        .enumerate()
+        .filter(|(_, (a, b))| a != b)
+        .map(|(k, _)| (k / p, k % p))
+        .collect()
+}
+
+/// Message for a derived-table mismatch: wrong shape, or the first few
+/// wrong cells.
+fn table_message<T>(label: &str, got_len: usize, want: &[T], bad: &[(usize, usize)]) -> String {
+    if got_len != want.len() {
+        return format!(
+            "{label} table holds {got_len} entries, want {} (stages × p shape)",
+            want.len()
+        );
+    }
+    let shown: Vec<String> = bad
+        .iter()
+        .take(MAX_LISTED)
+        .map(|&(s, i)| format!("(stage {s}, rank {i})"))
+        .collect();
+    let ell = if bad.len() > MAX_LISTED { ", …" } else { "" };
+    format!(
+        "{label} table disagrees with its definition at {} cells: [{}{ell}]",
+        bad.len(),
+        shown.join(", ")
+    )
+}
+
+/// Builds the `goal-unattainable` diagnostic: which pairs the recurrence
+/// never informed, phrased per goal.
+fn goal_diagnostic(view: &KnowledgeView<'_>, p: usize, goal: KnowledgeGoal) -> Diagnostic {
+    let (label, failing): (&str, Vec<(usize, usize)>) = match goal {
+        KnowledgeGoal::AllToAll => (
+            "pairs (i, j) where i never learns of j",
+            (0..p)
+                .flat_map(|i| (0..p).map(move |j| (i, j)))
+                .filter(|&(i, j)| view.count(i, j) == 0)
+                .collect(),
+        ),
+        KnowledgeGoal::RootGathers(r) => (
+            "ranks the root never hears from",
+            (0..p)
+                .filter(|&j| view.count(r, j) == 0)
+                .map(|j| (r, j))
+                .collect(),
+        ),
+        KnowledgeGoal::RootReaches(r) => (
+            "ranks the root never reaches",
+            (0..p)
+                .filter(|&i| view.count(i, r) == 0)
+                .map(|i| (i, r))
+                .collect(),
+        ),
+        KnowledgeGoal::Prefix => (
+            "prefix pairs (i, j ≤ i) where i never learns of j",
+            (0..p)
+                .flat_map(|i| (0..=i).map(move |j| (i, j)))
+                .filter(|&(i, j)| view.count(i, j) == 0)
+                .collect(),
+        ),
+    };
+    let shown: Vec<String> = failing
+        .iter()
+        .take(MAX_LISTED)
+        .map(|&(i, j)| format!("({i}, {j})"))
+        .collect();
+    let ell = if failing.len() > MAX_LISTED {
+        ", …"
+    } else {
+        ""
+    };
+    Diagnostic {
+        severity: Severity::Error,
+        stage: None,
+        ranks: failing
+            .iter()
+            .take(MAX_LISTED / 2)
+            .flat_map(|&(i, j)| [i, j])
+            .collect(),
+        rule: Rule::GoalUnattainable,
+        message: format!(
+            "{goal:?} not established: {} {label}: [{}{ell}]",
+            failing.len(),
+            shown.join(", ")
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpm_core::plan::StagePlan;
+
+    /// A well-formed 2-stage plan on 4 ranks: a gather to 0, then a
+    /// broadcast from 0.
+    fn clean_plan() -> CompiledPattern {
+        CompiledPattern::from_stage_edges(
+            "gather-bcast",
+            4,
+            &[vec![(1, 0), (2, 0), (3, 0)], vec![(0, 1), (0, 2), (0, 3)]],
+        )
+    }
+
+    /// Clones `plan`'s stages through the raw route so tests can plant a
+    /// single wrong derived-table entry.
+    fn raw_clone_with<F>(plan: &CompiledPattern, mutate: F) -> CompiledPattern
+    where
+        F: FnOnce(&mut Vec<bool>, &mut Vec<usize>, &mut usize),
+    {
+        let stages: Vec<StagePlan> = (0..plan.stages()).map(|s| plan.stage(s).clone()).collect();
+        let mut posted = plan.posted_table().to_vec();
+        let mut last_send = plan.last_send_table().to_vec();
+        let mut draws = plan.jitter_draws();
+        mutate(&mut posted, &mut last_send, &mut draws);
+        CompiledPattern::from_raw_tables(plan.name(), plan.p(), stages, posted, last_send, draws)
+    }
+
+    fn rules(diags: &[Diagnostic]) -> Vec<Rule> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn clean_plan_analyzes_clean() {
+        assert!(analyze(&clean_plan()).is_empty());
+        assert!(analyze_with_goal(&clean_plan(), KnowledgeGoal::AllToAll).is_empty());
+    }
+
+    #[test]
+    fn zero_stage_plan_analyzes_clean() {
+        // p = 1 collectives degenerate to zero stages — legal, and the
+        // dead-rank rule must not fire on them.
+        let plan = CompiledPattern::from_stage_edges("noop", 1, &[]);
+        assert!(analyze(&plan).is_empty());
+    }
+
+    #[test]
+    fn csr_offsets_rule_fires() {
+        // dst offsets end at 2 but only one index is stored.
+        let stage = StagePlan::from_raw_csr(2, vec![1], vec![0, 2, 2], vec![0], vec![0, 0, 1]);
+        let plan = CompiledPattern::from_stages("bad-off", 2, vec![stage]);
+        let diags = analyze(&plan);
+        assert_eq!(rules(&diags), vec![Rule::CsrOffsets], "{diags:?}");
+        assert_eq!(diags[0].stage, Some(0));
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn csr_order_rule_fires() {
+        // Rank 0's destinations are [2, 1]: present in both directions
+        // (mirror-consistent) but unsorted.
+        let stage = StagePlan::from_raw_csr(
+            3,
+            vec![2, 1],
+            vec![0, 2, 2, 2],
+            vec![0, 0],
+            vec![0, 0, 1, 2],
+        );
+        let plan = CompiledPattern::from_stages("unsorted", 3, vec![stage]);
+        let diags = analyze(&plan);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == Rule::CsrOrder && d.ranks == vec![0]),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn csr_mirror_rule_fires() {
+        // dsts says 0 → 1, srcs says 2 signals 1: each direction is
+        // internally well-formed but they describe different edges.
+        let stage =
+            StagePlan::from_raw_csr(3, vec![1], vec![0, 1, 1, 1], vec![2], vec![0, 0, 1, 1]);
+        let plan = CompiledPattern::from_stages("split-brain", 3, vec![stage]);
+        let diags = analyze(&plan);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == Rule::CsrMirror && d.ranks == vec![0, 1, 2, 1]),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn rank_range_rule_fires() {
+        // 0 signals rank 7 in a p = 2 stage.
+        let stage = StagePlan::from_raw_csr(2, vec![7], vec![0, 1, 1], vec![0], vec![0, 0, 1]);
+        let plan = CompiledPattern::from_stages("oob", 2, vec![stage]);
+        let diags = analyze(&plan);
+        assert!(diags.iter().any(|d| d.rule == Rule::RankRange), "{diags:?}");
+        // The mirror check must not run (and panic) on out-of-range input.
+        assert!(diags.iter().all(|d| d.rule != Rule::CsrMirror));
+    }
+
+    #[test]
+    fn self_send_rule_fires() {
+        let stage =
+            StagePlan::from_raw_csr(2, vec![0, 1], vec![0, 1, 2], vec![0, 1], vec![0, 1, 2]);
+        let plan = CompiledPattern::from_stages("selfie", 2, vec![stage]);
+        let diags = analyze(&plan);
+        let selfs: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == Rule::SelfSend).collect();
+        assert_eq!(selfs.len(), 2, "{diags:?}");
+        assert_eq!(selfs[0].ranks, vec![0]);
+        assert_eq!(selfs[1].ranks, vec![1]);
+    }
+
+    #[test]
+    fn empty_stage_rule_fires() {
+        let stage = StagePlan::from_edges(3, &[]);
+        let plan = CompiledPattern::from_stages("hollow", 3, vec![stage]);
+        let diags = analyze(&plan);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == Rule::EmptyStage && d.stage == Some(0)),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn dead_rank_rule_warns() {
+        // Rank 2 never participates in the 3-rank exchange 0 ↔ 1.
+        let plan = CompiledPattern::from_stage_edges("pairwise", 3, &[vec![(0, 1), (1, 0)]]);
+        let diags = analyze(&plan);
+        assert_eq!(rules(&diags), vec![Rule::DeadRank], "{diags:?}");
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert_eq!(diags[0].ranks, vec![2]);
+    }
+
+    #[test]
+    fn jitter_draws_rule_fires() {
+        let plan = raw_clone_with(&clean_plan(), |_, _, draws| *draws += 1);
+        let diags = analyze(&plan);
+        assert_eq!(rules(&diags), vec![Rule::JitterDraws], "{diags:?}");
+    }
+
+    #[test]
+    fn last_send_table_rule_fires() {
+        // Claim rank 0 transmitted in stage 0 (it only receives there —
+        // the gather flows into it, its own sends start in stage 1).
+        let plan = raw_clone_with(&clean_plan(), |_, last_send, _| {
+            last_send[4] = 0;
+        });
+        let diags = analyze(&plan);
+        assert_eq!(rules(&diags), vec![Rule::LastSendTable], "{diags:?}");
+        assert_eq!(diags[0].stage, Some(1));
+        assert_eq!(diags[0].ranks, vec![0]);
+    }
+
+    #[test]
+    fn posted_table_rule_fires() {
+        // Claim rank 1 is posted at stage 1 — it sent in stage 0, so the
+        // §5.6.5 definition says it is not.
+        let plan = raw_clone_with(&clean_plan(), |posted, _, _| {
+            posted[4 + 1] = true;
+        });
+        let diags = analyze(&plan);
+        assert_eq!(rules(&diags), vec![Rule::PostedTable], "{diags:?}");
+        assert_eq!(diags[0].stage, Some(1));
+        assert_eq!(diags[0].ranks, vec![1]);
+    }
+
+    #[test]
+    fn goal_unattainable_rule_fires() {
+        // A pure gather satisfies RootGathers(0) but not AllToAll.
+        let gather = CompiledPattern::from_stage_edges("gather", 3, &[vec![(1, 0), (2, 0)]]);
+        assert!(analyze_with_goal(&gather, KnowledgeGoal::RootGathers(0)).is_empty());
+        let diags = analyze_with_goal(&gather, KnowledgeGoal::AllToAll);
+        assert_eq!(rules(&diags), vec![Rule::GoalUnattainable], "{diags:?}");
+        assert!(
+            diags[0].message.contains("AllToAll"),
+            "{}",
+            diags[0].message
+        );
+
+        // The broadcast-direction goals distinguish the two rooted cases.
+        let diags = analyze_with_goal(&gather, KnowledgeGoal::RootReaches(0));
+        assert_eq!(rules(&diags), vec![Rule::GoalUnattainable]);
+    }
+
+    #[test]
+    fn goal_pass_skips_malformed_plans() {
+        // Structural errors must short-circuit the knowledge recurrence.
+        let stage = StagePlan::from_raw_csr(2, vec![7], vec![0, 1, 1], vec![0], vec![0, 0, 1]);
+        let plan = CompiledPattern::from_stages("oob", 2, vec![stage]);
+        let diags = analyze_with_goal(&plan, KnowledgeGoal::AllToAll);
+        assert!(
+            diags.iter().all(|d| d.rule != Rule::GoalUnattainable),
+            "{diags:?}"
+        );
+        assert!(!diags.is_empty());
+    }
+
+    #[test]
+    fn diagnostics_render_with_rule_and_stage() {
+        let stage = StagePlan::from_edges(3, &[]);
+        let plan = CompiledPattern::from_stages("hollow", 3, vec![stage]);
+        let diags = analyze(&plan);
+        let rendered = diags[0].to_string();
+        assert!(
+            rendered.starts_with("error[empty-stage] stage 0:"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn analyzer_scratch_is_reusable() {
+        let mut an = Analyzer::new();
+        for p in [2usize, 4, 8] {
+            let edges: Vec<(usize, usize)> = (0..p)
+                .flat_map(|i| (0..p).filter(move |&j| j != i).map(move |j| (i, j)))
+                .collect();
+            let plan = CompiledPattern::from_stage_edges("a2a", p, &[edges]);
+            assert!(an
+                .analyze_with_goal(&plan, KnowledgeGoal::AllToAll)
+                .is_empty());
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Pass two: the determinism-contract source lint.
+//!
+//! The simulator's contract is bit-identical output at any thread and
+//! lane count, from counter-based RNG streams keyed by (seed, label,
+//! repetition). A handful of constructs silently break that contract
+//! when they creep into simulation code:
+//!
+//! - **host clocks** (`std::time::Instant`, `SystemTime`) — wall-clock
+//!   reads make output depend on the machine, not the seed;
+//! - **hash collections** (`HashMap`, `HashSet`) — iteration order is
+//!   randomized per process, so any iteration leaks nondeterminism
+//!   (membership-only use is safe, but earns an explicit allowlist
+//!   entry rather than a silent pass);
+//! - **ambient RNG** (`thread_rng`, `from_entropy`, `OsRng`,
+//!   `rand::random`) — draws outside the keyed-stream discipline;
+//! - **`static mut`** — cross-thread mutable state with no ordering.
+//!
+//! [`scan_source`] is the pure core: it walks one file's lines, strips
+//! `//` comments, skips `#[cfg(test)]` items (test code may time and
+//! hash freely), and reports token matches not covered by the
+//! allowlist. The `hpm-analyze --src` binary applies it to every
+//! `crates/*/src/**.rs` file. Exemptions live in one committed file
+//! (`crates/analyze/allowlist.txt`), one line per `path-prefix rule`
+//! pair, so every exception to the contract is visible in review.
+
+use std::path::Path;
+
+/// One lint hit: file, 1-based line, rule name, offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    pub path: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub token: String,
+}
+
+impl std::fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] forbidden token `{}`",
+            self.path, self.line, self.rule, self.token
+        )
+    }
+}
+
+/// The rule table: rule name → forbidden tokens. Tokens match on
+/// identifier boundaries (so `Instant` does not fire inside
+/// `InstantArray`).
+pub const RULES: &[(&str, &[&str])] = &[
+    ("host-clock", &["Instant", "SystemTime"]),
+    ("hash-collection", &["HashMap", "HashSet"]),
+    (
+        "ambient-rng",
+        &["thread_rng", "from_entropy", "OsRng", "rand::random"],
+    ),
+    ("static-mut", &["static mut"]),
+];
+
+/// One allowlist entry: findings under `path_prefix` whose rule matches
+/// `rule` (or `*`) are suppressed.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub path_prefix: String,
+    pub rule: String,
+}
+
+/// Parses the committed allowlist format: one `path-prefix rule` pair
+/// per line, `#` starts a comment, blank lines ignored.
+#[must_use]
+pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
+    text.lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            let mut parts = l.split_whitespace();
+            let path_prefix = parts.next().unwrap_or("").to_string();
+            let rule = parts.next().unwrap_or("*").to_string();
+            AllowEntry { path_prefix, rule }
+        })
+        .collect()
+}
+
+fn allowed(allow: &[AllowEntry], path: &str, rule: &str) -> bool {
+    allow
+        .iter()
+        .any(|e| path.starts_with(&e.path_prefix) && (e.rule == "*" || e.rule == rule))
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// True when `needle` occurs in `line` on identifier boundaries.
+fn token_match(line: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident(line[..at].chars().next_back().unwrap_or(' '));
+        let after = at + needle.len();
+        let after_ok =
+            after >= line.len() || !is_ident(line[after..].chars().next().unwrap_or(' '));
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+/// Scans one file's source text. `path` is the repo-relative label used
+/// for reporting and allowlist matching.
+#[must_use]
+pub fn scan_source(path: &str, source: &str, allow: &[AllowEntry]) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    // `#[cfg(test)]` skipping: after the attribute (and any further
+    // attributes), swallow the next item — brace-delimited (a `mod` or
+    // `fn`) or `;`-terminated (a `use`).
+    let mut pending_cfg_test = false;
+    let mut skipping = false;
+    let mut depth: i64 = 0;
+    let mut seen_open = false;
+    for (idx, raw) in source.lines().enumerate() {
+        let line = raw.split("//").next().unwrap_or("");
+        if skipping {
+            for c in line.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        seen_open = true;
+                    }
+                    '}' => depth -= 1,
+                    ';' if !seen_open && depth == 0 => skipping = false,
+                    _ => {}
+                }
+            }
+            if seen_open && depth <= 0 {
+                skipping = false;
+            }
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+            continue;
+        }
+        if pending_cfg_test {
+            if trimmed.starts_with("#[") || trimmed.is_empty() {
+                continue;
+            }
+            pending_cfg_test = false;
+            skipping = true;
+            depth = 0;
+            seen_open = false;
+            for c in line.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        seen_open = true;
+                    }
+                    '}' => depth -= 1,
+                    ';' if !seen_open && depth == 0 => skipping = false,
+                    _ => {}
+                }
+            }
+            if seen_open && depth <= 0 {
+                skipping = false;
+            }
+            continue;
+        }
+        for (rule, tokens) in RULES {
+            if allowed(allow, path, rule) {
+                continue;
+            }
+            for needle in *tokens {
+                if token_match(line, needle) {
+                    findings.push(LintFinding {
+                        path: path.to_string(),
+                        line: idx + 1,
+                        rule,
+                        token: (*needle).to_string(),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Walks `root` for `crates/*/src/**.rs` plus the facade `src/*.rs` and
+/// scans every file. Paths are visited in sorted order so the report is
+/// deterministic.
+pub fn scan_tree(root: &Path, allow: &[AllowEntry]) -> std::io::Result<Vec<LintFinding>> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &mut files)?;
+    collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        // The contract covers library code: `src/` trees only. Bench
+        // harnesses and integration tests may time and hash freely.
+        if !(rel.starts_with("src/") || rel.contains("/src/")) {
+            continue;
+        }
+        let source = std::fs::read_to_string(&f)?;
+        findings.extend(scan_source(&rel, &source, allow));
+    }
+    Ok(findings)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(src: &str) -> Vec<&'static str> {
+        scan_source("crates/x/src/lib.rs", src, &[])
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn flags_each_rule() {
+        assert_eq!(rules_hit("let t = Instant::now();"), vec!["host-clock"]);
+        assert_eq!(rules_hit("let t = SystemTime::now();"), vec!["host-clock"]);
+        assert_eq!(
+            rules_hit("use std::collections::HashMap;"),
+            vec!["hash-collection"]
+        );
+        assert_eq!(
+            rules_hit("let s: HashSet<u32> = x;"),
+            vec!["hash-collection"]
+        );
+        assert_eq!(
+            rules_hit("let mut rng = thread_rng();"),
+            vec!["ambient-rng"]
+        );
+        assert_eq!(
+            rules_hit("let x: f64 = rand::random();"),
+            vec!["ambient-rng"]
+        );
+        assert_eq!(
+            rules_hit("static mut COUNTER: u64 = 0;"),
+            vec!["static-mut"]
+        );
+    }
+
+    #[test]
+    fn token_boundaries_respected() {
+        assert!(rules_hit("struct InstantArray;").is_empty());
+        assert!(rules_hit("let my_hash_map_like = 1;").is_empty());
+        assert!(rules_hit("fn instant() {}").is_empty());
+    }
+
+    #[test]
+    fn comments_do_not_fire() {
+        assert!(rules_hit("// a HashMap would break determinism here").is_empty());
+        assert!(rules_hit("/// never use Instant in the simulator").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_items_are_skipped() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+    #[test]
+    fn times_something() {
+        let t = Instant::now();
+        let m = std::collections::HashMap::new();
+    }
+}
+let live = 1;
+";
+        assert!(rules_hit(src).is_empty());
+        // …but live code after the module is still scanned.
+        let src2 = format!("{src}\nlet t = Instant::now();\n");
+        assert_eq!(rules_hit(&src2), vec!["host-clock"]);
+    }
+
+    #[test]
+    fn cfg_test_use_statement_is_skipped() {
+        let src = "#[cfg(test)]\nuse std::collections::HashSet;\nlet live = HashMap::new();\n";
+        let found = scan_source("crates/x/src/lib.rs", src, &[]);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].token, "HashMap");
+        assert_eq!(found[0].line, 3);
+    }
+
+    #[test]
+    fn allowlist_suppresses_by_prefix_and_rule() {
+        let allow = parse_allowlist(
+            "# exemptions\n\
+             crates/compat/ host-clock  # vendored stand-ins\n\
+             crates/x/src/special.rs *\n",
+        );
+        assert!(scan_source(
+            "crates/compat/criterion/src/lib.rs",
+            "Instant::now();",
+            &allow
+        )
+        .is_empty());
+        // Same rule elsewhere still fires.
+        assert_eq!(
+            scan_source("crates/y/src/lib.rs", "Instant::now();", &allow).len(),
+            1
+        );
+        // The wildcard entry covers every rule for that file.
+        assert!(scan_source("crates/x/src/special.rs", "static mut X: u8 = 0;", &allow).is_empty());
+        // …but only host-clock is exempt under compat.
+        assert_eq!(
+            scan_source("crates/compat/rand/src/lib.rs", "thread_rng();", &allow).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn findings_report_position() {
+        let found = scan_source(
+            "crates/x/src/lib.rs",
+            "let a = 1;\nlet t = Instant::now();",
+            &[],
+        );
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 2);
+        assert_eq!(found[0].path, "crates/x/src/lib.rs");
+        assert!(found[0].to_string().contains("host-clock"));
+    }
+}

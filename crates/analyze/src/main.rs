@@ -1,0 +1,65 @@
+//! `hpm-analyze` — the determinism-contract source lint, as a binary.
+//!
+//! ```text
+//! hpm-analyze --src [--root DIR] [--allowlist FILE]
+//! ```
+//!
+//! Walks `crates/*/src` (plus the facade `src/`) under the workspace
+//! root, reports every determinism-contract violation not covered by
+//! the committed allowlist, and exits nonzero on any finding — the CI
+//! `analyze` job's first half. (The second half, the plan analyzer over
+//! the experiment registry, runs as `repro analyze`; it lives in the
+//! bench crate because only the registry knows every pattern and its
+//! registered process count.)
+
+use hpm_analyze::lint;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut src_mode = false;
+    let mut root = PathBuf::from(".");
+    let mut allowlist: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--src" => src_mode = true,
+            "--root" => root = PathBuf::from(it.next().expect("--root needs a directory")),
+            "--allowlist" => {
+                allowlist = Some(PathBuf::from(it.next().expect("--allowlist needs a file")));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+                std::process::exit(2);
+            }
+        }
+    }
+    if !src_mode {
+        usage();
+        std::process::exit(2);
+    }
+    let allow_path = allowlist.unwrap_or_else(|| root.join("crates/analyze/allowlist.txt"));
+    let allow_text = std::fs::read_to_string(&allow_path).unwrap_or_else(|e| {
+        eprintln!("cannot read allowlist {}: {e}", allow_path.display());
+        std::process::exit(2);
+    });
+    let allow = lint::parse_allowlist(&allow_text);
+    let findings = lint::scan_tree(&root, &allow).unwrap_or_else(|e| {
+        eprintln!("scan failed under {}: {e}", root.display());
+        std::process::exit(2);
+    });
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("source lint clean ({} allowlist entries)", allow.len());
+    } else {
+        eprintln!("{} determinism-contract violations", findings.len());
+        std::process::exit(1);
+    }
+}
+
+fn usage() {
+    eprintln!("usage: hpm-analyze --src [--root DIR] [--allowlist FILE]");
+}

@@ -65,7 +65,7 @@ impl Clustering {
             self.len(),
             self.threshold
         )
-        .unwrap();
+        .expect("writing to a String cannot fail");
         for (k, g) in self.groups.iter().enumerate() {
             writeln!(
                 out,
@@ -74,7 +74,7 @@ impl Clustering {
                 g[0],
                 g
             )
-            .unwrap();
+            .expect("writing to a String cannot fail");
         }
         out
     }

@@ -1,0 +1,141 @@
+//! The static-analysis gate over the experiment registry.
+//!
+//! `repro analyze` (and the CI `analyze` job behind it) runs the
+//! `hpm-analyze` plan analyzer over every communication pattern the
+//! experiments execute, each at its registered process count: the
+//! barrier family and the eight collectives at the two validation
+//! machines' scales (p = 64 Xeon, p = 144 Opteron, the registry's
+//! `max_procs` values), the hybrid two-level barrier on its node
+//! partition, and the sparse-authored `dissemination_plan` at the scale
+//! run's p ∈ {256, 1024, 4096}. Every plan must analyze clean — zero
+//! diagnostics, warnings included — before an experiment is allowed to
+//! spend simulation time on it.
+//!
+//! The registry is explicit rather than derived from
+//! [`crate::experiments::registry`] because experiments construct
+//! patterns internally at many sweep points; this module pins the full
+//! set of pattern *shapes* at their *largest* registered scale, which
+//! dominates every smaller sweep point of the same constructor.
+
+use hpm_analyze::{Analyzer, Diagnostic};
+use hpm_barriers::hybrid::flat_dissemination_hybrid;
+use hpm_barriers::{
+    all_to_all, binary_tree, dissemination, dissemination_plan, kary_tree, linear, ring,
+};
+use hpm_collectives::pattern::catalog;
+use hpm_core::knowledge::KnowledgeGoal;
+use hpm_core::pattern::CommPattern;
+use hpm_core::plan::CompiledPattern;
+
+/// One entry of the static-analysis registry: a compiled plan and the
+/// knowledge goal it must attain.
+pub struct RegisteredPlan {
+    pub id: String,
+    pub plan: CompiledPattern,
+    pub goal: KnowledgeGoal,
+}
+
+/// Process counts the experiment registry runs the barrier and
+/// collective families at: the full Xeon machine (8×2×4) and the full
+/// Opteron machine (12×2×6).
+const MACHINE_PROCS: [usize; 2] = [64, 144];
+
+/// Process counts of the sparse-authored scale run (`scale_cases`).
+const SCALE_PROCS: [usize; 3] = [256, 1024, 4096];
+
+/// Payload size the collectives are checked at; the knowledge structure
+/// is payload-independent, so one size suffices.
+const COLLECTIVE_BYTES: u64 = 1024;
+
+/// Every pattern shape reachable from the experiment registry, compiled
+/// at its largest registered process count.
+#[must_use]
+pub fn pattern_registry() -> Vec<RegisteredPlan> {
+    let mut out = Vec::new();
+    for p in MACHINE_PROCS {
+        let barriers = [
+            linear(p, 0),
+            dissemination(p),
+            binary_tree(p),
+            kary_tree(p, 4),
+            ring(p),
+            all_to_all(p),
+        ];
+        for b in barriers {
+            out.push(RegisteredPlan {
+                id: format!("{}-p{p}", b.name()),
+                plan: b.plan(),
+                goal: KnowledgeGoal::AllToAll,
+            });
+        }
+        for c in catalog(p, 0, COLLECTIVE_BYTES) {
+            out.push(RegisteredPlan {
+                id: format!("{}-p{p}", c.name()),
+                goal: c.goal(),
+                plan: c.plan(),
+            });
+        }
+    }
+    // The hybrid barrier as fig7_4 partitions it: round-robin residency
+    // on the 8-node Xeon cluster.
+    let nodes = 8;
+    let p = 64;
+    let mut groups = vec![Vec::new(); nodes];
+    for r in 0..p {
+        groups[r % nodes].push(r);
+    }
+    let hybrid = flat_dissemination_hybrid(p, &groups);
+    out.push(RegisteredPlan {
+        id: format!("{}-p{p}", hybrid.name()),
+        plan: hybrid.plan(),
+        goal: KnowledgeGoal::AllToAll,
+    });
+    // The scale run authors its patterns sparsely, never through a dense
+    // stage matrix — analyze exactly what it executes.
+    for p in SCALE_PROCS {
+        out.push(RegisteredPlan {
+            id: format!("dissemination-sparse-p{p}"),
+            plan: dissemination_plan(p),
+            goal: KnowledgeGoal::AllToAll,
+        });
+    }
+    out
+}
+
+/// Analyzes the full registry through one scratch-pooled [`Analyzer`].
+/// Returns each plan's id with its diagnostics (empty = clean).
+#[must_use]
+pub fn analyze_registry() -> Vec<(String, Vec<Diagnostic>)> {
+    let mut analyzer = Analyzer::new();
+    pattern_registry()
+        .into_iter()
+        .map(|r| {
+            let diags = analyzer.analyze_with_goal(&r.plan, r.goal);
+            (r.id, diags)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_families_and_scales() {
+        let reg = pattern_registry();
+        // 6 barriers + 8 collectives per machine scale, the hybrid, and
+        // the three sparse scale plans.
+        assert_eq!(reg.len(), 2 * (6 + 8) + 1 + 3);
+        for p in SCALE_PROCS {
+            assert!(
+                reg.iter()
+                    .any(|r| r.id == format!("dissemination-sparse-p{p}")),
+                "missing scale entry at p = {p}"
+            );
+        }
+        let goals: Vec<KnowledgeGoal> = reg.iter().map(|r| r.goal).collect();
+        assert!(goals.contains(&KnowledgeGoal::RootGathers(0)));
+        assert!(goals.contains(&KnowledgeGoal::RootReaches(0)));
+        assert!(goals.contains(&KnowledgeGoal::Prefix));
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro list                 # show all experiment ids
+//! repro analyze              # static-verify every registry pattern, run nothing
 //! repro <id> [<id> ...]      # run selected experiments
 //! repro all                  # run everything (what EXPERIMENTS.md records)
 //! repro all --quick          # smoke-test resolution
@@ -72,6 +73,10 @@ fn main() {
                 }
                 return;
             }
+            "analyze" => {
+                run_analyze();
+                return;
+            }
             other => ids.push(other.to_string()),
         }
     }
@@ -112,6 +117,33 @@ fn main() {
         println!("wrote {}", path.display());
     }
     println!("done: {} experiments in {total:.1}s", ids.len());
+}
+
+/// `repro analyze`: the static half of the CI gate. Runs the
+/// `hpm-analyze` plan analyzer over every pattern shape the experiments
+/// execute, each at its registered `max_procs`, and exits nonzero on
+/// any diagnostic — warnings included. No simulation runs.
+fn run_analyze() {
+    let results = hpm_bench::analyze::analyze_registry();
+    let mut bad = 0usize;
+    for (id, diags) in &results {
+        if diags.is_empty() {
+            println!("{id:<28} ok");
+        } else {
+            bad += 1;
+            for d in diags {
+                println!("{id:<28} {d}");
+            }
+        }
+    }
+    if bad > 0 {
+        eprintln!(
+            "{bad} of {} registry patterns failed static analysis",
+            results.len()
+        );
+        std::process::exit(1);
+    }
+    println!("all {} registry patterns analyze clean", results.len());
 }
 
 /// One experiment's timing record for the JSON report.
@@ -173,6 +205,6 @@ fn write_json(path: &PathBuf, effort: &str, total: f64, timings: &[Timing]) {
 fn usage() {
     eprintln!(
         "usage: repro [--out DIR] [--quick | --effort quick|standard] \
-         [--threads N] [--json FILE] (list | all | <id> ...)"
+         [--threads N] [--json FILE] (list | analyze | all | <id> ...)"
     );
 }

@@ -9,6 +9,7 @@
 //! small strides and using reduced-but-sound microbenchmark dimensions;
 //! both are parameters of [`Effort`].
 
+pub mod analyze;
 pub mod experiments;
 pub mod output;
 

@@ -1,0 +1,39 @@
+//! The acceptance gate as a test: every pattern reachable from the
+//! `repro` registry analyzes clean, structurally and against its
+//! knowledge goal — the same sweep `repro analyze` (and the CI
+//! `analyze` job) runs.
+
+use hpm_analyze::Severity;
+use hpm_bench::analyze::{analyze_registry, pattern_registry};
+
+#[test]
+fn every_registry_pattern_analyzes_clean() {
+    for (id, diags) in analyze_registry() {
+        assert!(diags.is_empty(), "{id} has diagnostics: {diags:?}");
+    }
+}
+
+#[test]
+fn registry_warnings_also_gate() {
+    // The gate is zero diagnostics, not zero errors: dead-rank warnings
+    // count. Confirm the distinction is observable by breaking a plan.
+    use hpm_core::plan::CompiledPattern;
+    let lonely = CompiledPattern::from_stage_edges("lonely", 3, &[vec![(0, 1), (1, 0)]]);
+    let diags = hpm_analyze::analyze(&lonely);
+    assert!(diags.iter().all(|d| d.severity == Severity::Warning));
+    assert!(!diags.is_empty());
+}
+
+#[test]
+fn registry_reaches_the_scale_path() {
+    // dissemination_plan at p = 4096 is the largest plan any experiment
+    // executes; the analyzer must handle it (and its 16.7M-pair
+    // knowledge tables) without blowing up.
+    let reg = pattern_registry();
+    let largest = reg
+        .iter()
+        .map(|r| r.plan.p())
+        .max()
+        .expect("registry is non-empty");
+    assert_eq!(largest, 4096);
+}

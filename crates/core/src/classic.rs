@@ -112,8 +112,8 @@ mod tests {
         let min_at = times
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("predicted times are finite"))
+            .expect("times is non-empty")
             .0;
         assert!(
             min_at > 0 && min_at < times.len() - 1,

@@ -69,8 +69,8 @@ pub trait CommPattern {
         use std::fmt::Write;
         let mut out = String::new();
         for k in 0..self.stages() {
-            writeln!(out, "S{k} =").unwrap();
-            write!(out, "{}", self.stage(k)).unwrap();
+            writeln!(out, "S{k} =").expect("writing to a String cannot fail");
+            write!(out, "{}", self.stage(k)).expect("writing to a String cannot fail");
         }
         out
     }

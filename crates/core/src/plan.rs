@@ -91,20 +91,39 @@ impl StagePlan {
     /// dissemination stage at p = 4096 is 4096 edges (64 KB of CSR)
     /// where the dense form is a 16.7 MB boolean matrix.
     ///
-    /// Edges are `(src, dst)` pairs; duplicates collapse and order is
-    /// irrelevant, so the result is identical to routing the same edges
-    /// through [`IMat::from_edges`] and [`StagePlan::from_imat`] — both
+    /// Edges are `(src, dst)` pairs; order is irrelevant, so the result
+    /// is identical to routing the same edges through
+    /// [`IMat::from_edges`] and [`StagePlan::from_imat`] — both
     /// directions enumerate ascending, the compiled-form contract.
+    ///
+    /// # Panics
+    ///
+    /// Rejects malformed input up front rather than silently building a
+    /// CSR the executors would misinterpret: panics on out-of-range
+    /// ranks, duplicate edges (a signal would be double-counted in
+    /// jitter-draw accounting), and self-sends (`i → i` is not a
+    /// communication the staged model assigns a cost to).
     pub fn from_edges(p: usize, edges: &[(usize, usize)]) -> StagePlan {
         let mut es = edges.to_vec();
         es.sort_unstable();
-        es.dedup();
+        for w in es.windows(2) {
+            assert!(
+                w[0] != w[1],
+                "duplicate edge ({},{}) — each signal must appear once",
+                w[0].0,
+                w[0].1
+            );
+        }
         let mut dsts = Vec::with_capacity(es.len());
         let mut dsts_off = Vec::with_capacity(p + 1);
         dsts_off.push(0);
         let mut in_deg = vec![0usize; p];
         for &(i, j) in &es {
             assert!(i < p && j < p, "edge ({i},{j}) out of range for p={p}");
+            assert!(
+                i != j,
+                "self-send edge ({i},{j}) — ranks never signal themselves"
+            );
             in_deg[j] += 1;
         }
         let mut srcs_off = Vec::with_capacity(p + 1);
@@ -134,40 +153,99 @@ impl StagePlan {
         }
     }
 
+    /// Assembles a stage from raw CSR parts, **unvalidated** — the
+    /// adversarial-input route for the static analyzer's tests and the
+    /// escape hatch pattern synthesis will use. Nothing checks that the
+    /// offsets are monotone, the adjacency sorted, or the two directions
+    /// mirrors of each other; run `hpm_analyze::analyze` over plans
+    /// built this way before executing them.
+    pub fn from_raw_csr(
+        p: usize,
+        dsts: Vec<usize>,
+        dsts_off: Vec<usize>,
+        srcs: Vec<usize>,
+        srcs_off: Vec<usize>,
+    ) -> StagePlan {
+        StagePlan {
+            p,
+            dsts,
+            dsts_off,
+            srcs,
+            srcs_off,
+        }
+    }
+
     /// Process count.
+    #[must_use]
     pub fn p(&self) -> usize {
         self.p
     }
 
     /// Destinations signalled by `i`, ascending — a borrowed slice.
+    #[must_use]
     pub fn dsts(&self, i: usize) -> &[usize] {
         &self.dsts[self.dsts_off[i]..self.dsts_off[i + 1]]
     }
 
     /// Sources signalling `j`, ascending — a borrowed slice.
+    #[must_use]
     pub fn srcs(&self, j: usize) -> &[usize] {
         &self.srcs[self.srcs_off[j]..self.srcs_off[j + 1]]
     }
 
     /// Number of destinations `i` signals.
+    #[must_use]
     pub fn out_degree(&self, i: usize) -> usize {
         self.dsts_off[i + 1] - self.dsts_off[i]
     }
 
     /// Number of sources signalling `j`.
+    #[must_use]
     pub fn in_degree(&self, j: usize) -> usize {
         self.srcs_off[j + 1] - self.srcs_off[j]
     }
 
     /// Total edge count.
+    #[must_use]
     pub fn edge_count(&self) -> usize {
         self.dsts.len()
+    }
+
+    /// The concatenated destination lists, all ranks — the raw CSR index
+    /// array behind [`StagePlan::dsts`]. Introspection hook for the
+    /// static analyzer, which must inspect the arrays without trusting
+    /// the sliced accessors' indexing to be in bounds.
+    #[must_use]
+    pub fn dst_indices(&self) -> &[usize] {
+        &self.dsts
+    }
+
+    /// The destination offset array: `dst_offsets()[i]..[i + 1]`
+    /// delimits rank i's span in [`StagePlan::dst_indices`].
+    #[must_use]
+    pub fn dst_offsets(&self) -> &[usize] {
+        &self.dsts_off
+    }
+
+    /// The concatenated source lists, all ranks — the raw CSR index
+    /// array behind [`StagePlan::srcs`].
+    #[must_use]
+    pub fn src_indices(&self) -> &[usize] {
+        &self.srcs
+    }
+
+    /// The source offset array: `src_offsets()[j]..[j + 1]` delimits
+    /// rank j's span in [`StagePlan::src_indices`].
+    #[must_use]
+    pub fn src_offsets(&self) -> &[usize] {
+        &self.srcs_off
     }
 
     /// Jitter multipliers the staged executor consumes for this stage:
     /// one call-overhead draw per process plus [`SIGNAL_JITTER_DRAWS`]
     /// per signal. Every signal draws — self-loop and local signals
     /// included — so the count is exact, not an upper bound.
+    #[must_use]
     pub fn jitter_draws(&self) -> usize {
         self.p * ENTRY_JITTER_DRAWS + self.edge_count() * SIGNAL_JITTER_DRAWS
     }
@@ -258,29 +336,74 @@ impl CompiledPattern {
         }
     }
 
+    /// Assembles a compiled pattern from caller-supplied derived tables,
+    /// **unvalidated** — the adversarial-input route for the static
+    /// analyzer's tests: planting a wrong posted bit, last-send entry or
+    /// draw count here is how each consistency rule gets its failing
+    /// input. [`CompiledPattern::from_stages`] is the honest route that
+    /// derives the tables itself.
+    pub fn from_raw_tables(
+        name: &str,
+        p: usize,
+        stages: Vec<StagePlan>,
+        posted: Vec<bool>,
+        last_send: Vec<usize>,
+        jitter_draws: usize,
+    ) -> CompiledPattern {
+        CompiledPattern {
+            name: name.to_string(),
+            p,
+            stages,
+            posted,
+            last_send,
+            jitter_draws,
+        }
+    }
+
     /// Descriptive name inherited from the source pattern.
+    #[must_use]
     pub fn name(&self) -> &str {
         &self.name
     }
 
     /// Process count.
+    #[must_use]
     pub fn p(&self) -> usize {
         self.p
     }
 
     /// Number of stages.
+    #[must_use]
     pub fn stages(&self) -> usize {
         self.stages.len()
     }
 
     /// Borrow one compiled stage.
+    #[must_use]
     pub fn stage(&self, k: usize) -> &StagePlan {
         &self.stages[k]
     }
 
     /// Total signal count across all stages.
+    #[must_use]
     pub fn total_signals(&self) -> usize {
         self.stages.iter().map(StagePlan::edge_count).sum()
+    }
+
+    /// The raw §5.6.5 posted table (`stages × p`, row-major) behind
+    /// [`CompiledPattern::is_posted`] — introspection hook so the static
+    /// analyzer can check the table's shape before indexing it.
+    #[must_use]
+    pub fn posted_table(&self) -> &[bool] {
+        &self.posted
+    }
+
+    /// The raw last-transmission table (`(stages + 1) × p`, row-major)
+    /// behind [`CompiledPattern::last_send_stage`]; `usize::MAX` encodes
+    /// "has not transmitted yet".
+    #[must_use]
+    pub fn last_send_table(&self) -> &[usize] {
+        &self.last_send
     }
 
     /// Exact jitter multipliers one staged execution (one repetition)
@@ -290,12 +413,14 @@ impl CompiledPattern {
     /// tests assert the executor consumes exactly it — a silent
     /// divergence between plan and engine trips either the test or the
     /// buffer's bounds check.
+    #[must_use]
     pub fn jitter_draws(&self) -> usize {
         self.jitter_draws
     }
 
     /// True when rank `j` is known to be awaiting signals at stage `s` —
     /// the §5.6.5 posted-receiver refinement, as one indexed load.
+    #[must_use]
     pub fn is_posted(&self, j: usize, s: usize) -> bool {
         self.posted[s * self.p + j]
     }
@@ -303,6 +428,7 @@ impl CompiledPattern {
     /// The last stage index before `before` in which `i` transmitted, if
     /// any — the precomputed equivalent of
     /// [`CommPattern::last_send_stage`]. O(1).
+    #[must_use]
     pub fn last_send_stage(&self, i: usize, before: usize) -> Option<usize> {
         let row = before.min(self.stages.len());
         let s = self.last_send[row * self.p + i];
@@ -410,7 +536,7 @@ mod tests {
 
     /// The sparse authoring route (edge lists → CSR, no dense matrix)
     /// produces bit-identical compiled patterns to the dense route, for
-    /// shuffled and duplicated edge input.
+    /// shuffled edge input.
     #[test]
     fn sparse_authoring_matches_dense_route() {
         for p in [2usize, 5, 13, 24, 64] {
@@ -418,11 +544,9 @@ mod tests {
             let mut stage_edges: Vec<Vec<(usize, usize)>> = (0..stages)
                 .map(|s| (0..p).map(|i| (i, (i + (1 << s)) % p)).collect())
                 .collect();
-            // Order must not matter, nor duplicates.
+            // Order must not matter.
             for edges in &mut stage_edges {
                 edges.reverse();
-                let dup = edges[0];
-                edges.push(dup);
             }
             let sparse = CompiledPattern::from_stage_edges("dissemination", p, &stage_edges);
             let dense = CompiledPattern::compile(&dissemination(p));
@@ -443,6 +567,18 @@ mod tests {
     #[should_panic]
     fn sparse_authoring_rejects_out_of_range_edges() {
         StagePlan::from_edges(4, &[(0, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge (0,1)")]
+    fn sparse_authoring_rejects_duplicate_edges() {
+        StagePlan::from_edges(4, &[(0, 1), (2, 3), (0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-send edge (2,2)")]
+    fn sparse_authoring_rejects_self_sends() {
+        StagePlan::from_edges(4, &[(0, 1), (2, 2)]);
     }
 
     #[test]

@@ -62,7 +62,11 @@ impl ProcessorModel {
             );
         }
         assert!(
-            levels.last().unwrap().bytes_per_sec >= dram_bytes_per_sec,
+            levels
+                .last()
+                .expect("levels verified non-empty above")
+                .bytes_per_sec
+                >= dram_bytes_per_sec,
             "DRAM cannot be faster than the outermost cache"
         );
         ProcessorModel {

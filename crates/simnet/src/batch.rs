@@ -356,13 +356,21 @@ mod tests {
     }
 
     /// Draw-count audit (both engines): the executor consumes exactly
-    /// the draw count the compiled plan reports, per repetition.
+    /// the draw count the compiled plan reports, per repetition. The
+    /// static analyzer recomputes the same count from the CSR shape
+    /// alone — asserting it agrees here ties the engines' dynamic
+    /// accounting to the `jitter-draws` rule of `hpm-analyze`, so the
+    /// two can never drift apart silently.
     #[test]
     fn executor_consumes_exactly_the_plan_reported_draws() {
         let params = xeon_cluster_params();
         let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, 24);
         let sim = BarrierSim::new(&params, &placement);
         let plan = dissemination(24).plan();
+        // Static twin of this audit: a clean analysis certifies the
+        // plan's reported draw count matches what the stages will make
+        // the engines consume below.
+        assert!(hpm_analyze::analyze(&plan).is_empty());
         let payload = hpm_core::predictor::PayloadSchedule::dissemination_count_map(24);
         // Lane engine: rows consumed == draws, for every lane width.
         let mut scratch = LaneScratch::new();

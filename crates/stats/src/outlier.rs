@@ -106,7 +106,9 @@ mod tests {
     #[test]
     fn clean_sample_passes_first_time() {
         let mut vals = (0..30).map(|i| 100.0 + (i % 3) as f64).cycle();
-        let rep = filter_outlier_means(30, 0.95, 10, || vals.next().unwrap());
+        let rep = filter_outlier_means(30, 0.95, 10, || {
+            vals.next().expect("cycled iterator never ends")
+        });
         assert_eq!(rep.passes, 1);
         assert_eq!(rep.resampled, 0);
         assert!(!rep.budget_exhausted);

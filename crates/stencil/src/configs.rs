@@ -119,7 +119,7 @@ pub fn render_table_8_1() -> String {
         "{:<4} {:<8} {:>6} {:<40}",
         "id", "N", "iters", "implementations"
     )
-    .unwrap();
+    .expect("writing to a String cannot fail");
     for c in table_8_1() {
         writeln!(
             out,
@@ -129,7 +129,7 @@ pub fn render_table_8_1() -> String {
             c.iters,
             c.implementations.join(", ")
         )
-        .unwrap();
+        .expect("writing to a String cannot fail");
     }
     out
 }

@@ -63,6 +63,7 @@ impl LinkMap {
     /// chain. Debug builds keep an explicit pair bounds check with rank
     /// context.
     #[inline]
+    #[must_use]
     pub fn class(&self, a: usize, b: usize) -> LinkClass {
         debug_assert!(
             a < self.nprocs && b < self.nprocs,
@@ -82,6 +83,7 @@ impl LinkMap {
 
     /// Node hosting a rank — the cached `core_of(rank).node`.
     #[inline]
+    #[must_use]
     pub fn node_of(&self, rank: usize) -> usize {
         self.node_of[rank]
     }
@@ -89,11 +91,13 @@ impl LinkMap {
     /// Global socket index (`node * sockets_per_node + socket`) hosting a
     /// rank — the second hierarchy level the classifier reads.
     #[inline]
+    #[must_use]
     pub fn socket_of(&self, rank: usize) -> usize {
         self.socket_of[rank]
     }
 
     /// Heap bytes held by the map: two words per rank, no pairwise table.
+    #[must_use]
     pub fn storage_bytes(&self) -> usize {
         std::mem::size_of::<usize>() * (self.node_of.capacity() + self.socket_of.capacity())
     }
@@ -166,27 +170,32 @@ impl Placement {
     }
 
     /// The cluster shape this placement lives on.
+    #[must_use]
     pub fn shape(&self) -> ClusterShape {
         self.shape
     }
 
     /// Placement policy in effect.
+    #[must_use]
     pub fn policy(&self) -> PlacementPolicy {
         self.policy
     }
 
     /// Number of placed ranks.
+    #[must_use]
     pub fn nprocs(&self) -> usize {
         self.nprocs
     }
 
     /// Physical core of a rank.
+    #[must_use]
     pub fn core_of(&self, rank: usize) -> CoreId {
         self.cores[rank]
     }
 
     /// Node hosting a rank — served from the precomputed [`LinkMap`].
     #[inline]
+    #[must_use]
     pub fn node_of(&self, rank: usize) -> usize {
         self.links.node_of(rank)
     }
@@ -194,16 +203,19 @@ impl Placement {
     /// Link class between two ranks — one load from the precomputed
     /// [`LinkMap`].
     #[inline]
+    #[must_use]
     pub fn link(&self, a: usize, b: usize) -> LinkClass {
         self.links.class(a, b)
     }
 
     /// The precomputed pairwise link classes and node residency.
+    #[must_use]
     pub fn link_map(&self) -> &LinkMap {
         &self.links
     }
 
     /// Number of distinct nodes hosting at least one rank.
+    #[must_use]
     pub fn nodes_used(&self) -> usize {
         self.node_ranks.iter().filter(|r| !r.is_empty()).count()
     }
@@ -212,18 +224,21 @@ impl Placement {
     /// built at construction (see [`Placement::node_ranks`] for the
     /// borrow-only form). An out-of-range node hosts no ranks, as in the
     /// original scan-based implementation.
+    #[must_use]
     pub fn ranks_on_node(&self, node: usize) -> Vec<usize> {
         self.node_ranks.get(node).cloned().unwrap_or_default()
     }
 
     /// Borrow the ranks resident on a node, ascending; empty for a node
     /// outside the shape.
+    #[must_use]
     pub fn node_ranks(&self, node: usize) -> &[usize] {
         self.node_ranks.get(node).map_or(&[], Vec::as_slice)
     }
 
     /// Count of remote (cross-node) pairs among all ordered rank pairs —
     /// computed in closed form at construction (`p² − Σ_n cnt_n²`).
+    #[must_use]
     pub fn remote_pair_count(&self) -> usize {
         self.remote_pairs
     }
@@ -232,6 +247,7 @@ impl Placement {
     /// core list, the hierarchical [`LinkMap`] and the per-node rank
     /// buckets — O(ranks + nodes) total, asserted at scale so a dense
     /// pairwise table cannot silently return.
+    #[must_use]
     pub fn storage_bytes(&self) -> usize {
         let word = std::mem::size_of::<usize>();
         self.cores.capacity() * std::mem::size_of::<CoreId>()

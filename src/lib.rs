@@ -9,6 +9,7 @@
 //! programs on SMP clusters, validated by a BSPlib runtime and two case
 //! studies (adaptive barrier construction and a 5-point Laplacian stencil).
 
+pub use hpm_analyze as analyze;
 pub use hpm_barriers as barriers;
 pub use hpm_bsplib as bsplib;
 pub use hpm_collectives as collectives;
