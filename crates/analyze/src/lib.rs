@@ -29,6 +29,7 @@
 //! | `last-send-table` | error | the §5.6.5 last-transmission table matches a recomputation |
 //! | `posted-table` | error | the §5.6.5 posted booleans match their definition |
 //! | `goal-unattainable` | error | the knowledge recurrence reaches the declared [`KnowledgeGoal`] |
+//! | `k-crash-coverage` | warning | the goal, restricted to survivors, outlives a pruned crash set ([`Analyzer::k_crash_coverage`]) |
 //!
 //! The jitter-draw rule is statically decidable because drawing is part
 //! of the compiled-form contract, not of runtime control flow: the
@@ -100,6 +101,9 @@ pub enum Rule {
     PostedTable,
     /// The knowledge recurrence never establishes the declared goal.
     GoalUnattainable,
+    /// After pruning a crashed rank set, the surviving ranks no longer
+    /// attain the declared goal among themselves.
+    KCrashCoverage,
 }
 
 impl Rule {
@@ -118,6 +122,7 @@ impl Rule {
             Rule::LastSendTable => "last-send-table",
             Rule::PostedTable => "posted-table",
             Rule::GoalUnattainable => "goal-unattainable",
+            Rule::KCrashCoverage => "k-crash-coverage",
         }
     }
 }
@@ -199,6 +204,139 @@ impl Analyzer {
             diags.push(goal_diagnostic(&view, plan.p(), goal));
         }
         diags
+    }
+
+    /// Static k-crash coverage: prunes every signal a crashed rank sends
+    /// or receives, replays the §5.5 knowledge recurrence over the
+    /// surviving edges, and decides whether `goal` *restricted to the
+    /// survivors* is still attained. A rooted goal whose root crashed is
+    /// lost by definition.
+    ///
+    /// The structural rules deliberately do not run on the pruned plan:
+    /// pruning legitimately produces empty stages and dead ranks, which
+    /// are contract violations for an executable plan but the expected
+    /// shape of a post-crash one. Only the recurrence is consulted.
+    #[must_use]
+    pub fn k_crash_coverage(
+        &mut self,
+        plan: &CompiledPattern,
+        goal: KnowledgeGoal,
+        crashed: &[usize],
+    ) -> CrashVerdict {
+        let p = plan.p();
+        let mut dead = vec![false; p];
+        for &r in crashed {
+            assert!(r < p, "crashed rank {r} out of range for p = {p}");
+            dead[r] = true;
+        }
+        let mut stage_edges: Vec<Vec<(usize, usize)>> = Vec::with_capacity(plan.stages());
+        for s in 0..plan.stages() {
+            let stage = plan.stage(s);
+            let mut edges = Vec::new();
+            for i in 0..p {
+                if dead[i] {
+                    continue;
+                }
+                for &j in stage.dsts(i) {
+                    if !dead[j] {
+                        edges.push((i, j));
+                    }
+                }
+            }
+            stage_edges.push(edges);
+        }
+        let pruned = CompiledPattern::from_stage_edges(plan.name(), p, &stage_edges);
+        let view = self.scratch.verify(&pruned);
+        let root_crashed = match goal {
+            KnowledgeGoal::RootGathers(r) | KnowledgeGoal::RootReaches(r) => dead[r],
+            KnowledgeGoal::AllToAll | KnowledgeGoal::Prefix => false,
+        };
+        let alive = |r: usize| !dead[r];
+        let uninformed_pairs = if root_crashed {
+            0
+        } else {
+            match goal {
+                KnowledgeGoal::AllToAll => (0..p)
+                    .filter(|&i| alive(i))
+                    .flat_map(|i| (0..p).filter(|&j| alive(j)).map(move |j| (i, j)))
+                    .filter(|&(i, j)| view.count(i, j) == 0)
+                    .count(),
+                KnowledgeGoal::RootGathers(r) => (0..p)
+                    .filter(|&j| alive(j) && view.count(r, j) == 0)
+                    .count(),
+                KnowledgeGoal::RootReaches(r) => (0..p)
+                    .filter(|&i| alive(i) && view.count(i, r) == 0)
+                    .count(),
+                KnowledgeGoal::Prefix => (0..p)
+                    .filter(|&i| alive(i))
+                    .flat_map(|i| (0..=i).filter(|&j| alive(j)).map(move |j| (i, j)))
+                    .filter(|&(i, j)| view.count(i, j) == 0)
+                    .count(),
+            }
+        };
+        CrashVerdict {
+            crashed: {
+                let mut c: Vec<usize> = crashed.to_vec();
+                c.sort_unstable();
+                c.dedup();
+                c
+            },
+            goal,
+            root_crashed,
+            uninformed_pairs,
+        }
+    }
+}
+
+/// Verdict of one static crash scenario (see
+/// [`Analyzer::k_crash_coverage`]): the pruned rank set and whether the
+/// goal, restricted to the survivors, is still attained.
+#[derive(Debug, Clone)]
+pub struct CrashVerdict {
+    /// The pruned ranks, sorted and deduplicated.
+    pub crashed: Vec<usize>,
+    /// The goal the verdict is about.
+    pub goal: KnowledgeGoal,
+    /// True when the goal is rooted and its root was pruned — lost by
+    /// definition, without consulting the recurrence.
+    pub root_crashed: bool,
+    /// Survivor pairs the recurrence left uninformed (0 when the goal
+    /// survives or the root crashed).
+    pub uninformed_pairs: usize,
+}
+
+impl CrashVerdict {
+    /// True when the surviving ranks still attain the goal.
+    #[must_use]
+    pub fn survives(&self) -> bool {
+        !self.root_crashed && self.uninformed_pairs == 0
+    }
+
+    /// Renders a lost goal as a [`Rule::KCrashCoverage`] warning;
+    /// `None` when the goal survives. Warning severity: crash
+    /// vulnerability is a property being measured, not a malformed plan.
+    #[must_use]
+    pub fn diagnostic(&self) -> Option<Diagnostic> {
+        if self.survives() {
+            return None;
+        }
+        let listed: Vec<usize> = self.crashed.iter().copied().take(MAX_LISTED).collect();
+        let why = if self.root_crashed {
+            "the goal's root is among the crashed".to_string()
+        } else {
+            format!("{} survivor pairs stay uninformed", self.uninformed_pairs)
+        };
+        Some(Diagnostic {
+            severity: Severity::Warning,
+            stage: None,
+            ranks: listed.clone(),
+            rule: Rule::KCrashCoverage,
+            message: format!(
+                "{:?} lost after crashing {}: {why}",
+                self.goal,
+                capped("ranks", self.crashed.len(), &listed)
+            ),
+        })
     }
 }
 
@@ -820,6 +958,66 @@ mod tests {
             rendered.starts_with("error[empty-stage] stage 0:"),
             "{rendered}"
         );
+    }
+
+    /// Dissemination edges: stage `k` sends `i → (i + 2^k) mod p`.
+    fn dissemination_edges(p: usize) -> Vec<Vec<(usize, usize)>> {
+        let mut stages = Vec::new();
+        let mut d = 1;
+        while d < p {
+            stages.push((0..p).map(|i| (i, (i + d) % p)).collect());
+            d *= 2;
+        }
+        stages
+    }
+
+    #[test]
+    fn k_crash_coverage_flags_severed_relays() {
+        let mut an = Analyzer::new();
+        let dis = CompiledPattern::from_stage_edges("dissem", 8, &dissemination_edges(8));
+        // Zero crashes: trivially survives (and matches analyze_with_goal).
+        assert!(an
+            .k_crash_coverage(&dis, KnowledgeGoal::AllToAll, &[])
+            .survives());
+        // Dissemination relays knowledge along unique chains: crashing
+        // rank 1 leaves some survivor ignorant of some other survivor
+        // (e.g. rank 3 only hears of rank 0 via rank 1 or 2-then-1).
+        let v = an.k_crash_coverage(&dis, KnowledgeGoal::AllToAll, &[1]);
+        assert!(!v.survives(), "{v:?}");
+        assert!(v.uninformed_pairs > 0);
+        let d = v.diagnostic().expect("lost goal renders a diagnostic");
+        assert_eq!(d.rule, Rule::KCrashCoverage);
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("survivor pairs"), "{}", d.message);
+        // A single-stage complete exchange shrugs off any single crash.
+        let p = 5;
+        let edges: Vec<(usize, usize)> = (0..p)
+            .flat_map(|i| (0..p).filter(move |&j| j != i).map(move |j| (i, j)))
+            .collect();
+        let a2a = CompiledPattern::from_stage_edges("a2a", p, &[edges]);
+        for r in 0..p {
+            let v = an.k_crash_coverage(&a2a, KnowledgeGoal::AllToAll, &[r]);
+            assert!(v.survives(), "crash {r}: {v:?}");
+            assert!(v.diagnostic().is_none());
+        }
+    }
+
+    #[test]
+    fn crashed_root_loses_rooted_goals_by_definition() {
+        let mut an = Analyzer::new();
+        let gather =
+            CompiledPattern::from_stage_edges("gather", 4, &[vec![(1, 0), (2, 0), (3, 0)]]);
+        let v = an.k_crash_coverage(&gather, KnowledgeGoal::RootGathers(0), &[0]);
+        assert!(v.root_crashed);
+        assert!(!v.survives());
+        assert!(
+            v.diagnostic().expect("lost").message.contains("root"),
+            "{v:?}"
+        );
+        // Crashing a leaf only removes that leaf from the goal's scope:
+        // the root still gathers from every survivor.
+        let v = an.k_crash_coverage(&gather, KnowledgeGoal::RootGathers(0), &[2]);
+        assert!(v.survives(), "{v:?}");
     }
 
     #[test]

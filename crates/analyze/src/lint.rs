@@ -108,35 +108,37 @@ fn token_match(line: &str, needle: &str) -> bool {
     false
 }
 
-/// Scans one file's source text. `path` is the repo-relative label used
-/// for reporting and allowlist matching.
-#[must_use]
-pub fn scan_source(path: &str, source: &str, allow: &[AllowEntry]) -> Vec<LintFinding> {
-    let mut findings = Vec::new();
-    // `#[cfg(test)]` skipping: after the attribute (and any further
-    // attributes), swallow the next item — brace-delimited (a `mod` or
-    // `fn`) or `;`-terminated (a `use`).
+/// Yields `(line_index, comment-stripped line)` for every line outside
+/// `#[cfg(test)]` items. After the attribute (and any further
+/// attributes), the next item is swallowed — brace-delimited (a `mod`
+/// or `fn`) or `;`-terminated (a `use`). Shared by the token lint and
+/// the stream-label scanner so both see the same "library source".
+fn live_lines(source: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
     let mut pending_cfg_test = false;
     let mut skipping = false;
     let mut depth: i64 = 0;
     let mut seen_open = false;
+    let track = |line: &str, depth: &mut i64, seen_open: &mut bool, skipping: &mut bool| {
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    *depth += 1;
+                    *seen_open = true;
+                }
+                '}' => *depth -= 1,
+                ';' if !*seen_open && *depth == 0 => *skipping = false,
+                _ => {}
+            }
+        }
+        if *seen_open && *depth <= 0 {
+            *skipping = false;
+        }
+    };
     for (idx, raw) in source.lines().enumerate() {
         let line = raw.split("//").next().unwrap_or("");
         if skipping {
-            for c in line.chars() {
-                match c {
-                    '{' => {
-                        depth += 1;
-                        seen_open = true;
-                    }
-                    '}' => depth -= 1,
-                    ';' if !seen_open && depth == 0 => skipping = false,
-                    _ => {}
-                }
-            }
-            if seen_open && depth <= 0 {
-                skipping = false;
-            }
+            track(line, &mut depth, &mut seen_open, &mut skipping);
             continue;
         }
         let trimmed = line.trim();
@@ -152,28 +154,26 @@ pub fn scan_source(path: &str, source: &str, allow: &[AllowEntry]) -> Vec<LintFi
             skipping = true;
             depth = 0;
             seen_open = false;
-            for c in line.chars() {
-                match c {
-                    '{' => {
-                        depth += 1;
-                        seen_open = true;
-                    }
-                    '}' => depth -= 1,
-                    ';' if !seen_open && depth == 0 => skipping = false,
-                    _ => {}
-                }
-            }
-            if seen_open && depth <= 0 {
-                skipping = false;
-            }
+            track(line, &mut depth, &mut seen_open, &mut skipping);
             continue;
         }
+        out.push((idx, line.to_string()));
+    }
+    out
+}
+
+/// Scans one file's source text. `path` is the repo-relative label used
+/// for reporting and allowlist matching.
+#[must_use]
+pub fn scan_source(path: &str, source: &str, allow: &[AllowEntry]) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    for (idx, line) in live_lines(source) {
         for (rule, tokens) in RULES {
             if allowed(allow, path, rule) {
                 continue;
             }
             for needle in *tokens {
-                if token_match(line, needle) {
+                if token_match(&line, needle) {
                     findings.push(LintFinding {
                         path: path.to_string(),
                         line: idx + 1,
@@ -211,6 +211,145 @@ pub fn scan_tree(root: &Path, allow: &[AllowEntry]) -> std::io::Result<Vec<LintF
         findings.extend(scan_source(&rel, &source, allow));
     }
     Ok(findings)
+}
+
+/// One keyed-stream label declaration: `const NAME_LABEL: u64 = VALUE;`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelDecl {
+    pub path: String,
+    pub line: usize,
+    pub name: String,
+    pub value: u64,
+}
+
+/// Extracts every `const *_LABEL: u64` declaration from one file's
+/// source. Labels partition the SplitMix64 stream space (see DESIGN.md,
+/// "The jitter engine"); this scanner feeds the registry audit that
+/// keeps them collision-free.
+#[must_use]
+pub fn scan_labels(path: &str, source: &str) -> Vec<LabelDecl> {
+    let mut out = Vec::new();
+    for (idx, line) in live_lines(source) {
+        let line = line.trim();
+        let rest = line
+            .strip_prefix("pub const ")
+            .or_else(|| line.strip_prefix("pub(crate) const "))
+            .or_else(|| line.strip_prefix("const "));
+        let Some(rest) = rest else { continue };
+        let Some((name, tail)) = rest.split_once(':') else {
+            continue;
+        };
+        let name = name.trim();
+        if !name.ends_with("_LABEL") {
+            continue;
+        }
+        let Some((ty, val)) = tail.split_once('=') else {
+            continue;
+        };
+        if ty.trim() != "u64" {
+            continue;
+        }
+        let val = val.trim().trim_end_matches(';').trim().replace('_', "");
+        let value = if let Some(hex) = val.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            val.parse().ok()
+        };
+        if let Some(value) = value {
+            out.push(LabelDecl {
+                path: path.to_string(),
+                line: idx + 1,
+                name: name.to_string(),
+                value,
+            });
+        }
+    }
+    out
+}
+
+/// Parses the committed label registry (`crates/analyze/stream_labels.txt`):
+/// one `NAME VALUE` pair per line, `#` comments, `_` digit separators.
+#[must_use]
+pub fn parse_label_registry(text: &str) -> Vec<(String, u64)> {
+    text.lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .filter_map(|l| {
+            let mut parts = l.split_whitespace();
+            let name = parts.next()?.to_string();
+            let val = parts.next()?.replace('_', "");
+            let value = if let Some(hex) = val.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).ok()?
+            } else {
+                val.parse().ok()?
+            };
+            Some((name, value))
+        })
+        .collect()
+}
+
+/// Audits the declared labels against the committed registry. Errors:
+/// a declaration missing from the registry, a registry/declaration
+/// value mismatch, a stale registry entry with no declaration, and —
+/// the one that actually corrupts physics — two labels sharing a value,
+/// which silently correlates two subsystems' randomness.
+#[must_use]
+pub fn check_labels(decls: &[LabelDecl], registry: &[(String, u64)]) -> Vec<String> {
+    let mut errors = Vec::new();
+    for d in decls {
+        match registry.iter().find(|(n, _)| *n == d.name) {
+            None => errors.push(format!(
+                "{}:{}: stream label {} = {:#x} is not registered in stream_labels.txt",
+                d.path, d.line, d.name, d.value
+            )),
+            Some((_, v)) if *v != d.value => errors.push(format!(
+                "{}:{}: stream label {} declares {:#x} but the registry records {v:#x}",
+                d.path, d.line, d.name, d.value
+            )),
+            _ => {}
+        }
+    }
+    for (n, _) in registry {
+        if !decls.iter().any(|d| &d.name == n) {
+            errors.push(format!(
+                "stream_labels.txt: registered label {n} has no declaration in the source tree"
+            ));
+        }
+    }
+    for (i, a) in decls.iter().enumerate() {
+        for b in &decls[i + 1..] {
+            if a.value == b.value && a.name != b.name {
+                errors.push(format!(
+                    "stream label collision: {} ({}:{}) and {} ({}:{}) share {:#x}",
+                    a.name, a.path, a.line, b.name, b.path, b.line, a.value
+                ));
+            }
+        }
+    }
+    errors
+}
+
+/// Walks the same `crates/*/src` + facade tree as [`scan_tree`] and
+/// collects every stream-label declaration, in sorted file order.
+pub fn scan_labels_tree(root: &Path) -> std::io::Result<Vec<LabelDecl>> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &mut files)?;
+    collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+    let mut decls = Vec::new();
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if !(rel.starts_with("src/") || rel.contains("/src/")) {
+            continue;
+        }
+        let source = std::fs::read_to_string(&f)?;
+        decls.extend(scan_labels(&rel, &source));
+    }
+    Ok(decls)
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
@@ -348,5 +487,76 @@ let live = 1;
         assert_eq!(found[0].line, 2);
         assert_eq!(found[0].path, "crates/x/src/lib.rs");
         assert!(found[0].to_string().contains("host-clock"));
+    }
+
+    #[test]
+    fn label_scanner_parses_declarations() {
+        let src = "\
+pub const SYNC_JITTER_LABEL: u64 = 0x5253_594E; // b\"RSYN\"
+pub(crate) const DROP_LABEL: u64 = 99;
+const NOT_A_LABEL: u32 = 7;
+const OTHER_CONST: u64 = 3;
+// const COMMENTED_LABEL: u64 = 1;
+";
+        let decls = scan_labels("crates/x/src/lib.rs", src);
+        assert_eq!(decls.len(), 2);
+        assert_eq!(decls[0].name, "SYNC_JITTER_LABEL");
+        assert_eq!(decls[0].value, 0x5253_594E);
+        assert_eq!(decls[0].line, 1);
+        assert_eq!(decls[1].name, "DROP_LABEL");
+        assert_eq!(decls[1].value, 99);
+    }
+
+    #[test]
+    fn label_registry_audit_catches_drift() {
+        let registry = parse_label_registry(
+            "# comment\nA_LABEL 0x10\nB_LABEL 0x2_0 # inline\nSTALE_LABEL 0x30\n",
+        );
+        assert_eq!(registry.len(), 3);
+        let decl = |name: &str, value: u64| LabelDecl {
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 1,
+            name: name.to_string(),
+            value,
+        };
+        // Clean: both registered labels declared at their recorded values.
+        let clean = [decl("A_LABEL", 0x10), decl("B_LABEL", 0x20)];
+        let errors = check_labels(&clean, &registry);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].contains("STALE_LABEL"));
+        // Unregistered declaration, value mismatch, and a collision.
+        let dirty = [
+            decl("A_LABEL", 0x10),
+            decl("B_LABEL", 0x99),
+            decl("ROGUE_LABEL", 0x10),
+            decl("STALE_LABEL", 0x30),
+        ];
+        let errors = check_labels(&dirty, &registry);
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("ROGUE_LABEL") && e.contains("not registered")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("B_LABEL") && e.contains("registry records")));
+        assert!(errors.iter().any(|e| e.contains("collision")));
+    }
+
+    #[test]
+    fn workspace_labels_match_committed_registry() {
+        // The real tree against the real registry — the same audit the
+        // CI binary runs, pinned as a unit test so a new stream label
+        // cannot land without its registration.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(std::path::Path::parent)
+            .expect("workspace root")
+            .to_path_buf();
+        let registry_text = std::fs::read_to_string(root.join("crates/analyze/stream_labels.txt"))
+            .expect("read stream_labels.txt");
+        let registry = parse_label_registry(&registry_text);
+        let decls = scan_labels_tree(&root).expect("scan workspace labels");
+        assert!(!decls.is_empty(), "label scan found nothing");
+        let errors = check_labels(&decls, &registry);
+        assert!(errors.is_empty(), "{errors:#?}");
     }
 }

@@ -116,6 +116,69 @@ pub fn analyze_registry() -> Vec<(String, Vec<Diagnostic>)> {
         .collect()
 }
 
+/// One pattern's k-crash coverage over its deterministic scenario
+/// sample: how many crash sets the knowledge goal (restricted to the
+/// survivors) outlived. A verdict, not a failure — `repro analyze`
+/// prints these and only errors on unexpected structural diagnostics.
+pub struct CrashCoverageSummary {
+    pub id: String,
+    /// Crash-set size of the sweep.
+    pub k: usize,
+    /// Scenarios sampled.
+    pub scenarios: usize,
+    /// Scenarios the goal survived.
+    pub survived: usize,
+    /// First lost scenario's diagnostic, when any goal was lost.
+    pub example: Option<Diagnostic>,
+}
+
+/// Deterministically sampled size-`k` crash sets at `p` ranks: every
+/// single rank anchors a set at small scales, evenly strided anchors at
+/// large ones (64 at p ≤ 256, 8 beyond), each set taking `k` consecutive
+/// ranks from its anchor. Pure function of `(p, k)` — the sweep is
+/// reproducible by construction.
+#[must_use]
+pub fn crash_sets(p: usize, k: usize) -> Vec<Vec<usize>> {
+    let anchors = if p <= 256 { p.min(64) } else { 8 };
+    let stride = (p / anchors).max(1);
+    (0..anchors)
+        .map(|a| {
+            let base = a * stride;
+            (0..k.min(p)).map(|d| (base + d) % p).collect()
+        })
+        .collect()
+}
+
+/// Sweeps [`Analyzer::k_crash_coverage`] over the full registry with
+/// size-`k` crash sets from [`crash_sets`], one summary per plan.
+#[must_use]
+pub fn crash_coverage_registry(k: usize) -> Vec<CrashCoverageSummary> {
+    let mut analyzer = Analyzer::new();
+    pattern_registry()
+        .into_iter()
+        .map(|r| {
+            let sets = crash_sets(r.plan.p(), k);
+            let mut survived = 0;
+            let mut example = None;
+            for set in &sets {
+                let v = analyzer.k_crash_coverage(&r.plan, r.goal, set);
+                if v.survives() {
+                    survived += 1;
+                } else if example.is_none() {
+                    example = v.diagnostic();
+                }
+            }
+            CrashCoverageSummary {
+                id: r.id,
+                k,
+                scenarios: sets.len(),
+                survived,
+                example,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +200,48 @@ mod tests {
         assert!(goals.contains(&KnowledgeGoal::RootGathers(0)));
         assert!(goals.contains(&KnowledgeGoal::RootReaches(0)));
         assert!(goals.contains(&KnowledgeGoal::Prefix));
+    }
+
+    #[test]
+    fn crash_sets_are_deterministic_and_scale_aware() {
+        assert_eq!(crash_sets(64, 1).len(), 64);
+        assert_eq!(crash_sets(144, 2).len(), 64);
+        assert_eq!(crash_sets(4096, 1).len(), 8);
+        assert_eq!(crash_sets(64, 1), crash_sets(64, 1));
+        for set in crash_sets(144, 2) {
+            assert_eq!(set.len(), 2);
+            assert!(set.iter().all(|&r| r < 144));
+        }
+    }
+
+    #[test]
+    fn crash_coverage_sweep_summarizes_every_plan() {
+        let summaries = crash_coverage_registry(1);
+        assert_eq!(summaries.len(), pattern_registry().len());
+        for s in &summaries {
+            assert!(s.survived <= s.scenarios, "{}", s.id);
+            assert_eq!(
+                s.example.is_none(),
+                s.survived == s.scenarios,
+                "{}: example iff something was lost",
+                s.id
+            );
+        }
+        // The dense single-stage all-to-all barrier is the one shape
+        // that shrugs off any single crash; dissemination relays through
+        // unique chains and must lose scenarios.
+        let a2a = summaries
+            .iter()
+            .find(|s| s.id == "all-to-all-p64")
+            .expect("registry entry");
+        assert_eq!(a2a.survived, a2a.scenarios, "all-to-all survives k = 1");
+        let dis = summaries
+            .iter()
+            .find(|s| s.id == "dissemination-p64")
+            .expect("registry entry");
+        assert!(
+            dis.survived < dis.scenarios,
+            "dissemination must lose single-crash scenarios"
+        );
     }
 }

@@ -144,6 +144,22 @@ fn run_analyze() {
         std::process::exit(1);
     }
     println!("all {} registry patterns analyze clean", results.len());
+    // k-crash coverage: verdicts, not failures. Almost every staged
+    // pattern relays knowledge through unique chains and so loses *some*
+    // crash scenario; the sweep reports which goals outlive which crash
+    // sets rather than gating on them.
+    for k in [1usize, 2] {
+        let summaries = hpm_bench::analyze::crash_coverage_registry(k);
+        for s in &summaries {
+            println!(
+                "{:<28} k-crash-coverage k={k}: survives {}/{} scenarios",
+                s.id, s.survived, s.scenarios
+            );
+            if let Some(d) = &s.example {
+                println!("{:<28}   e.g. {d}", "");
+            }
+        }
+    }
 }
 
 /// One experiment's timing record for the JSON report.

@@ -6,7 +6,7 @@
 //! module map; EXPERIMENTS.md records the shape comparison against the
 //! thesis originals.
 
-use crate::output::{fmt, write_csv, write_text, CsvTable};
+use crate::output::{fmt, write_csv, write_file, write_text, CsvTable};
 use std::path::{Path, PathBuf};
 
 use hpm_barriers::greedy::greedy_adaptive_barrier;
@@ -1086,6 +1086,113 @@ pub fn scale_p(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
     vec![write_csv(dir, "scale_p", &t)]
 }
 
+/// Fault-injection robustness sweep (`repro faults`): drop rate ×
+/// straggler severity × crash count over the dissemination barrier at
+/// p ∈ {64, 256}. Every repetition realizes its faults from streams
+/// keyed by `(SEED, rep)` disjoint from the jitter streams, so the CSV
+/// is deterministic at any thread count — and the all-zero corner of
+/// the grid doubles as a bitwise neutrality witness (inflation exactly
+/// 1). Reports per-case completion rate, mean retransmissions,
+/// lost/suppressed signal totals and completion-time inflation against
+/// the fault-free executor on the same seed.
+pub fn faults(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    use hpm_stats::fault::{DropProb, FaultModel};
+    let params = xeon_cluster_params();
+    let drops = [0.0, 0.01, 0.05];
+    let stragglers = [(0.0, 0.0), (0.1, 1e-4)];
+    let crashes = [0usize, 1, 4];
+    let mut cases: Vec<(usize, f64, f64, f64, usize)> = Vec::new();
+    for &p in &[64usize, 256] {
+        for &d in &drops {
+            for &(sp, ss) in &stragglers {
+                for &c in &crashes {
+                    cases.push((p, d, sp, ss, c));
+                }
+            }
+        }
+    }
+    let reps = effort.barrier_reps;
+    let rows = par_points(&cases, |&(p, d, sp, ss, c)| {
+        let shape = if p <= 64 {
+            cluster_8x2x4()
+        } else {
+            cluster_32x2x4()
+        };
+        let placement = Placement::new(shape, PlacementPolicy::RoundRobin, p);
+        let plan = dissemination_plan(p);
+        let sim = BarrierSim::new(&params, &placement);
+        let baseline = sim
+            .measure_compiled(&plan, &PayloadSchedule::none(), reps, SEED)
+            .mean();
+        let fault = FaultModel {
+            crash_count: c,
+            crash_window: 1e-4,
+            drop: DropProb::uniform(d),
+            straggler_prob: sp,
+            straggler_scale: ss,
+            straggler_alpha: 1.5,
+            timeout: 2e-4,
+            ..FaultModel::NONE
+        };
+        fault.validate();
+        let reports = sim.measure_faulty(&plan, &PayloadSchedule::none(), &fault, reps, SEED);
+        let n = reports.len() as f64;
+        let completion = reports
+            .iter()
+            .map(|r| r.completed_count() as f64 / p as f64)
+            .sum::<f64>()
+            / n;
+        let retries = reports.iter().map(|r| r.retries as f64).sum::<f64>() / n;
+        let lost: u64 = reports.iter().map(|r| r.lost_signals).sum();
+        let suppressed: u64 = reports.iter().map(|r| r.suppressed_signals).sum();
+        let mean_total = reports.iter().map(|r| r.total()).sum::<f64>() / n;
+        vec![
+            p.to_string(),
+            d.to_string(),
+            sp.to_string(),
+            ss.to_string(),
+            c.to_string(),
+            format!("{completion:.4}"),
+            format!("{retries:.2}"),
+            lost.to_string(),
+            suppressed.to_string(),
+            fmt(baseline),
+            fmt(mean_total),
+            format!("{:.4}", mean_total / baseline),
+        ]
+    });
+    let mut t = CsvTable::new(&[
+        "P",
+        "drop",
+        "straggler_prob",
+        "straggler_scale",
+        "crashes",
+        "completion_rate",
+        "mean_retries",
+        "lost_signals",
+        "suppressed_signals",
+        "fault_free_s",
+        "faulty_s",
+        "inflation",
+    ]);
+    let mut json = String::from("{\n  \"experiment\": \"faults\",\n  \"cases\": [\n");
+    for (k, row) in rows.iter().enumerate() {
+        let comma = if k + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"p\": {}, \"drop\": {}, \"straggler_prob\": {}, \"straggler_scale\": {}, \
+             \"crashes\": {}, \"completion_rate\": {}, \"mean_retries\": {}, \
+             \"inflation\": {}}}{comma}\n",
+            row[0], row[1], row[2], row[3], row[4], row[5], row[6], row[11]
+        ));
+        t.push(row.clone());
+    }
+    json.push_str("  ]\n}\n");
+    vec![
+        write_csv(dir, "faults", &t),
+        write_file(dir, "BENCH_faults.json", &json),
+    ]
+}
+
 // ---------------------------------------------------------------- driver
 
 type ExperimentFn = fn(&Path, &Effort) -> Vec<PathBuf>;
@@ -1310,6 +1417,13 @@ pub fn registry() -> Vec<(
             "batched",
             4096,
             scale_p,
+        ),
+        (
+            "faults",
+            "fault injection: drops/stragglers/crashes vs completion",
+            "batched",
+            256,
+            faults,
         ),
     ]
 }

@@ -36,6 +36,7 @@ use hpm_simnet::exchange::{
 };
 use hpm_simnet::net::NetState;
 use hpm_simnet::params::PlatformParams;
+use hpm_stats::fault::FaultModel;
 use hpm_stats::rng::{derive_rng, JitterBuf};
 use hpm_topology::Placement;
 
@@ -112,6 +113,9 @@ pub struct BspConfig {
     pub max_supersteps: usize,
     /// Barrier shape the sync executes; dissemination unless overridden.
     pub sync: SyncPattern,
+    /// Fault model injected into every sync; [`FaultModel::NONE`] (the
+    /// default) keeps the run bit-identical to the fault-free runtime.
+    pub fault: FaultModel,
 }
 
 impl BspConfig {
@@ -129,6 +133,7 @@ impl BspConfig {
             seed,
             max_supersteps: 100_000,
             sync: SyncPattern::default(),
+            fault: FaultModel::NONE,
         }
     }
 }
@@ -147,7 +152,49 @@ pub enum BspError {
     MixedHalt { superstep: usize },
     /// The `max_supersteps` guard tripped.
     SuperstepLimit,
+    /// A fault-injected sync could not complete on every process: some
+    /// crashed or timed out waiting for signals that never arrived. The
+    /// run stops at that superstep; `survivors` lists the processes that
+    /// still completed the sync cleanly.
+    SyncFailed {
+        superstep: usize,
+        /// Processes that crashed or timed out, in rank order.
+        failed: Vec<usize>,
+        /// Processes that completed the sync, in rank order.
+        survivors: Vec<usize>,
+    },
 }
+
+impl std::fmt::Display for BspError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BspError::Abort {
+                pid,
+                superstep,
+                msg,
+            } => {
+                write!(f, "bsp_abort from pid {pid} in superstep {superstep}: {msg}")
+            }
+            BspError::MixedHalt { superstep } => write!(
+                f,
+                "superstep {superstep}: some processes halted while others continued (bsp_end must be collective)"
+            ),
+            BspError::SuperstepLimit => write!(f, "superstep limit exceeded"),
+            BspError::SyncFailed {
+                superstep,
+                failed,
+                survivors,
+            } => write!(
+                f,
+                "superstep {superstep}: sync failed on {} of {} processes (failed ranks: {failed:?})",
+                failed.len(),
+                failed.len() + survivors.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BspError {}
 
 /// Timing trace of one superstep (absolute virtual times).
 #[derive(Debug, Clone)]
@@ -376,8 +423,32 @@ pub fn run_spmd<P: BspProgram>(
             &mut r2,
         );
 
-        // Phase 3: synchronize.
+        // Phase 3: synchronize. Under a fault model the sync runs on the
+        // faulty executor (same stream label and rep, so a zero-fault
+        // model reproduces the healthy path bit-for-bit); a sync that not
+        // every process completes aborts the run with the survivor set.
         let barrier_exit = match &compiled_sync {
+            Some(plan) if !cfg.fault.is_none() => {
+                let report = sim.run_once_faulty(
+                    plan,
+                    &payload,
+                    &cfg.fault,
+                    &compute_end,
+                    &mut net,
+                    cfg.seed,
+                    SYNC_JITTER_LABEL,
+                    step as u64,
+                    &mut sync_scratch,
+                );
+                if !report.all_completed() {
+                    return Err(BspError::SyncFailed {
+                        superstep: step,
+                        failed: report.failed(),
+                        survivors: report.survivors(),
+                    });
+                }
+                sync_scratch.exits().to_vec()
+            }
             Some(plan) => {
                 sim.run_once_batched(
                     plan,
@@ -505,6 +576,7 @@ mod tests {
 
     /// Ring rotation by put: each process writes its pid into its right
     /// neighbour's buffer, twice, checking values between supersteps.
+    #[derive(Debug)]
     struct RotatePut {
         step: usize,
         buf: Option<RegHandle>,
@@ -957,6 +1029,105 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A fault model with a benign drop probability (no crashes, retry
+    /// budget far above the loss threshold) completes the run, still
+    /// delivers every put, and can only ever push completion later than
+    /// the fault-free run (retransmission delay is additive).
+    #[test]
+    fn faulty_sync_with_benign_drops_still_delivers() {
+        use hpm_stats::fault::DropProb;
+        let healthy = run_spmd(&config(8), |_| RotatePut {
+            step: 0,
+            buf: None,
+            seen: Vec::new(),
+        })
+        .expect("healthy run succeeds");
+        let mut cfg = config(8);
+        cfg.fault = FaultModel {
+            drop: DropProb::uniform(0.05),
+            ..FaultModel::NONE
+        };
+        let res = run_spmd(&cfg, |_| RotatePut {
+            step: 0,
+            buf: None,
+            seen: Vec::new(),
+        })
+        .expect("faulty run degrades gracefully");
+        for (pid, prog) in res.programs.iter().enumerate() {
+            let left = ((pid + 8) - 1) % 8;
+            assert_eq!(prog.seen, vec![left as u8], "pid {pid}");
+        }
+        assert!(
+            res.total_time >= healthy.total_time,
+            "drops may only delay completion: faulty {} vs healthy {}",
+            res.total_time,
+            healthy.total_time
+        );
+    }
+
+    /// Crashed processes surface as a structured [`BspError::SyncFailed`]
+    /// carrying the superstep and the failed/survivor partition — not as
+    /// a hang or a silent wrong answer.
+    #[test]
+    fn early_crash_fails_sync_with_survivor_set() {
+        let mut cfg = config(8);
+        cfg.fault = FaultModel {
+            crash_count: 2,
+            crash_window: 1e-9,
+            ..FaultModel::NONE
+        };
+        let err = run_spmd(&cfg, |_| RotatePut {
+            step: 0,
+            buf: None,
+            seen: Vec::new(),
+        })
+        .expect_err("crashed ranks must fail the sync");
+        match err {
+            BspError::SyncFailed {
+                superstep,
+                failed,
+                survivors,
+            } => {
+                assert_eq!(superstep, 0, "the crash window opens at time zero");
+                assert!(!failed.is_empty(), "crashed ranks must be reported");
+                let mut all: Vec<usize> = failed.iter().chain(&survivors).copied().collect();
+                all.sort_unstable();
+                assert_eq!(all, (0..8).collect::<Vec<_>>(), "partition of ranks");
+            }
+            other => panic!("expected SyncFailed, got {other:?}"),
+        }
+    }
+
+    /// `BspError` is a real error type: `Display` carries the rank and
+    /// superstep context, and it boxes into `dyn Error` so callers can
+    /// `?` it.
+    #[test]
+    fn bsp_error_displays_and_boxes() {
+        let err = BspError::SyncFailed {
+            superstep: 3,
+            failed: vec![1, 4],
+            survivors: vec![0, 2, 3],
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("superstep 3"), "{msg}");
+        assert!(msg.contains("2 of 5"), "{msg}");
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(boxed.to_string().contains("failed ranks: [1, 4]"));
+        assert_eq!(
+            BspError::SuperstepLimit.to_string(),
+            "superstep limit exceeded"
+        );
+        let abort = BspError::Abort {
+            pid: 2,
+            superstep: 0,
+            msg: "deliberate".into(),
+        };
+        assert_eq!(
+            abort.to_string(),
+            "bsp_abort from pid 2 in superstep 0: deliberate"
+        );
     }
 
     /// All sync shapes deliver the data and synchronize correctly: the

@@ -85,16 +85,16 @@ impl BarrierMeasurement {
 pub struct SimScratch {
     /// Entry times of the current stage; holds the final exits after a
     /// run ([`SimScratch::exits`]).
-    cur: Vec<f64>,
+    pub(crate) cur: Vec<f64>,
     /// Exit times being accumulated for the current stage.
-    nxt: Vec<f64>,
+    pub(crate) nxt: Vec<f64>,
     /// Per-process library-posted times within one stage.
-    posted: Vec<f64>,
+    pub(crate) posted: Vec<f64>,
     /// Per-process latest inbound-signal processing time within one stage.
-    last_arrival: Vec<f64>,
+    pub(crate) last_arrival: Vec<f64>,
     /// Jitter table of the `*_batched` entry points, refilled per run
     /// (the allocation is reused across fills).
-    jitter: JitterBuf,
+    pub(crate) jitter: JitterBuf,
 }
 
 impl SimScratch {
@@ -156,6 +156,15 @@ impl<'a> BarrierSim<'a> {
         let mut scratch = SimScratch::new(self.placement);
         let mut jit = ScalarJitter::new(self.params.jitter, rng);
         self.run_once_compiled(&plan, payload, entry, net, &mut jit, &mut scratch);
+        // The scalar twin of the batched consumed-vs-planned audit
+        // (`JitterBuf::consumed`): the adapter counts draw slots, so
+        // plan/executor divergence cannot stay silent on this path
+        // either.
+        debug_assert_eq!(
+            jit.drawn(),
+            plan.jitter_draws(),
+            "scalar executor consumed a different draw count than the plan reports"
+        );
         scratch.exits().to_vec()
     }
 
@@ -294,7 +303,14 @@ impl<'a> BarrierSim<'a> {
         let mut net = NetState::new(self.placement);
         let mut scratch = SimScratch::new(self.placement);
         let mut jit = ScalarJitter::new(self.params.jitter, rng);
-        self.run_total_compiled(&pattern.plan(), payload, &mut jit, &mut net, &mut scratch)
+        let plan = pattern.plan();
+        let total = self.run_total_compiled(&plan, payload, &mut jit, &mut net, &mut scratch);
+        debug_assert_eq!(
+            jit.drawn(),
+            plan.jitter_draws(),
+            "scalar executor consumed a different draw count than the plan reports"
+        );
+        total
     }
 
     /// One complete run of a compiled pattern from a cold start over

@@ -1,0 +1,608 @@
+//! The fault-aware barrier executor: crashes, drops, degraded links and
+//! stragglers over the staged executor, with per-rank outcomes.
+//!
+//! [`crate::barrier::BarrierSim::run_once_faulty`] executes one compiled
+//! pattern under a [`FaultModel`]: the repetition's faults are realized
+//! into a [`FaultPlan`] from the stream `(seed, FAULT_LABEL, rep)`, the
+//! jitter table fills exactly as on the healthy path, and every planned
+//! signal runs through [`crate::net::NetState::signal_round_trip_faulty`]
+//! — which consumes one drop uniform and the usual four jitter
+//! multipliers whatever the signal's fate. Because every stream is keyed
+//! by the repetition's own coordinates and consumption counts are pure
+//! functions of the plan shape ([`fault_drop_draws`]), faulty runs are
+//! bit-identical at any thread count, and a [`FaultModel::is_none`]
+//! model reproduces the fault-free executor bit-for-bit (all fault
+//! arithmetic collapses to `×1.0`/`+0.0`).
+//!
+//! Unlike the healthy executor, global completion is not assumed: each
+//! rank finishes as [`RankOutcome::Completed`], gives up waiting for a
+//! signal that never arrives ([`RankOutcome::TimedOut`], after the
+//! sender-symmetric retry budget [`FaultModel::loss_delay`]), or is
+//! [`RankOutcome::Crashed`] outright.
+
+use crate::barrier::{BarrierSim, SimScratch};
+use crate::net::{NetState, SignalFate};
+use hpm_core::plan::CompiledPattern;
+use hpm_core::predictor::PayloadSchedule;
+use hpm_stats::fault::{DropStream, FaultModel, FaultPlan};
+
+/// How one rank left a faulty run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RankOutcome {
+    /// Exited the last stage at this time with all expected signals in.
+    Completed(f64),
+    /// Exited at this time, but gave up waiting on at least one signal
+    /// along the way — its completion guarantee is void.
+    TimedOut(f64),
+    /// Crashed at this time and stopped participating.
+    Crashed(f64),
+}
+
+/// One repetition's fault accounting: per-rank outcomes plus the retry
+/// and loss totals the repro experiment aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultReport {
+    /// Per-rank outcome.
+    pub outcomes: Vec<RankOutcome>,
+    /// Retransmissions across all delivered signals.
+    pub retries: u64,
+    /// Total latency those retransmissions added.
+    pub retry_delay: f64,
+    /// Signals abandoned after the full retry budget (dropped beyond
+    /// budget, or aimed at a crashed receiver).
+    pub lost_signals: u64,
+    /// Signals never emitted because their sender had crashed.
+    pub suppressed_signals: u64,
+}
+
+impl FaultReport {
+    fn new(p: usize) -> FaultReport {
+        FaultReport {
+            outcomes: vec![RankOutcome::Completed(0.0); p],
+            retries: 0,
+            retry_delay: 0.0,
+            lost_signals: 0,
+            suppressed_signals: 0,
+        }
+    }
+
+    /// Ranks that completed cleanly.
+    pub fn completed_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, RankOutcome::Completed(_)))
+            .count()
+    }
+
+    /// True when every rank completed cleanly.
+    pub fn all_completed(&self) -> bool {
+        self.completed_count() == self.outcomes.len()
+    }
+
+    /// Worst-case exit time over ranks that finished the run (completed
+    /// or timed out); `NEG_INFINITY` if everyone crashed.
+    pub fn total(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .fold(f64::NEG_INFINITY, |acc, o| match o {
+                RankOutcome::Completed(t) | RankOutcome::TimedOut(t) => acc.max(*t),
+                RankOutcome::Crashed(_) => acc,
+            })
+    }
+
+    /// Ranks that completed cleanly, in rank order.
+    pub fn survivors(&self) -> Vec<usize> {
+        (0..self.outcomes.len())
+            .filter(|&r| matches!(self.outcomes[r], RankOutcome::Completed(_)))
+            .collect()
+    }
+
+    /// Ranks that crashed or timed out, in rank order.
+    pub fn failed(&self) -> Vec<usize> {
+        (0..self.outcomes.len())
+            .filter(|&r| !matches!(self.outcomes[r], RankOutcome::Completed(_)))
+            .collect()
+    }
+}
+
+/// Drop-stream draws one faulty run of `plan` consumes: exactly one per
+/// planned signal, so the count is the plan's total edge count — the
+/// fault twin of `CompiledPattern::jitter_draws`, and what makes the
+/// draw audit static.
+#[must_use]
+pub fn fault_drop_draws(plan: &CompiledPattern) -> usize {
+    (0..plan.stages()).map(|s| plan.stage(s).edge_count()).sum()
+}
+
+impl BarrierSim<'_> {
+    /// One faulty cold-start run of a compiled pattern from per-rank
+    /// entry times (realized straggler delays are added on top).
+    ///
+    /// Jitter fills from `(seed, label, rep)` exactly like
+    /// [`BarrierSim::run_once_batched`]; fault structure and drop
+    /// decisions come from the disjoint `FAULT_LABEL`/`FAULT_DROP_LABEL`
+    /// streams at the same `(seed, rep)`. With [`FaultModel::is_none`]
+    /// the exits are bit-identical to the fault-free batched run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_once_faulty(
+        &self,
+        plan: &CompiledPattern,
+        payload: &PayloadSchedule,
+        fault: &FaultModel,
+        entry: &[f64],
+        net: &mut NetState,
+        seed: u64,
+        label: u64,
+        rep: u64,
+        scratch: &mut SimScratch,
+    ) -> FaultReport {
+        let p = plan.p();
+        assert_eq!(entry.len(), p, "entry vector length");
+        assert_eq!(self.placement.nprocs(), p, "placement process count");
+        let nodes = self.placement.shape().nodes();
+        let fplan = FaultPlan::realize(fault, p, nodes, seed, rep);
+        let mut drops = DropStream::new(seed, rep);
+        let mut jit = std::mem::take(&mut scratch.jitter);
+        jit.fill(
+            self.params.jitter.sigma,
+            seed,
+            label,
+            rep,
+            plan.jitter_draws(),
+        );
+        for (c, (&e, &d)) in scratch
+            .cur
+            .iter_mut()
+            .zip(entry.iter().zip(&fplan.straggler_delay))
+        {
+            *c = e + d;
+        }
+        let mut report = FaultReport::new(p);
+        let mut timed_out = vec![false; p];
+        let mut arrived = vec![0usize; p];
+        for s in 0..plan.stages() {
+            self.run_stage_faulty(
+                plan,
+                payload,
+                s,
+                fault,
+                &fplan,
+                &mut drops,
+                net,
+                &mut jit,
+                scratch,
+                &mut report,
+                &mut timed_out,
+                &mut arrived,
+            );
+            std::mem::swap(&mut scratch.cur, &mut scratch.nxt);
+        }
+        for (i, out) in report.outcomes.iter_mut().enumerate() {
+            *out = if fplan.crash_time[i] < f64::INFINITY {
+                RankOutcome::Crashed(fplan.crash_time[i])
+            } else if timed_out[i] {
+                RankOutcome::TimedOut(scratch.cur[i])
+            } else {
+                RankOutcome::Completed(scratch.cur[i])
+            };
+        }
+        debug_assert_eq!(
+            drops.drawn(),
+            fault_drop_draws(plan),
+            "faulty executor consumed a different drop-draw count than the plan reports"
+        );
+        debug_assert!(
+            self.params.jitter.sigma == 0.0 || jit.consumed() == plan.jitter_draws(),
+            "faulty executor consumed a different jitter-draw count than the plan reports"
+        );
+        scratch.jitter = jit;
+        report
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_stage_faulty(
+        &self,
+        plan: &CompiledPattern,
+        payload: &PayloadSchedule,
+        s: usize,
+        fault: &FaultModel,
+        fplan: &FaultPlan,
+        drops: &mut DropStream,
+        net: &mut NetState,
+        jit: &mut hpm_stats::rng::JitterBuf,
+        scratch: &mut SimScratch,
+        report: &mut FaultReport,
+        timed_out: &mut [bool],
+        arrived: &mut [usize],
+    ) {
+        use hpm_stats::rng::JitterSource;
+        let p = plan.p();
+        let stage = plan.stage(s);
+        let bytes = payload.bytes(s);
+        let SimScratch {
+            cur,
+            nxt,
+            posted,
+            last_arrival,
+            ..
+        } = scratch;
+        for (i, (post, &e)) in posted.iter_mut().zip(cur.iter()).enumerate() {
+            let slow = fplan.node_slow[self.placement.node_of(i)];
+            *post = e + self.params.call_overhead * jit.next_mult() * slow;
+        }
+        nxt.copy_from_slice(posted);
+        last_arrival.fill(f64::NEG_INFINITY);
+        arrived[..p].fill(0);
+        for i in 0..p {
+            let mut t = posted[i];
+            for &j in stage.dsts(i) {
+                match net.signal_round_trip_faulty(
+                    self.params,
+                    self.placement,
+                    jit,
+                    fault,
+                    fplan,
+                    drops,
+                    i,
+                    j,
+                    t,
+                    bytes,
+                    posted[j],
+                ) {
+                    SignalFate::Delivered {
+                        ack,
+                        processed,
+                        retries,
+                        retry_delay,
+                    } => {
+                        t = ack;
+                        report.retries += retries as u64;
+                        report.retry_delay += retry_delay;
+                        arrived[j] += 1;
+                        if processed > last_arrival[j] {
+                            last_arrival[j] = processed;
+                        }
+                    }
+                    SignalFate::Lost { gave_up } => {
+                        report.lost_signals += 1;
+                        timed_out[i] = true;
+                        t = gave_up;
+                    }
+                    SignalFate::SenderDead => {
+                        report.suppressed_signals += 1;
+                    }
+                }
+            }
+            if t > nxt[i] {
+                nxt[i] = t;
+            }
+        }
+        for j in 0..p {
+            if last_arrival[j] > nxt[j] {
+                nxt[j] = last_arrival[j];
+            }
+            // A surviving rank missing an expected arrival waits out the
+            // sender-symmetric retry budget past its post, then gives up.
+            if arrived[j] < stage.in_degree(j) && fplan.crash_time[j] == f64::INFINITY {
+                timed_out[j] = true;
+                let gave_up = posted[j] + fault.loss_delay();
+                if gave_up > nxt[j] {
+                    nxt[j] = gave_up;
+                }
+            }
+        }
+    }
+
+    /// Repeated faulty cold-start runs with independent fault and jitter
+    /// streams per repetition, fanned out on [`hpm_par`]. Repetition `r`
+    /// is bit-identical to a lone [`BarrierSim::run_once_faulty`] at
+    /// `rep = r` — grouping into workers is invisible, exactly like the
+    /// lane batching of the healthy `measure`.
+    pub fn measure_faulty(
+        &self,
+        plan: &CompiledPattern,
+        payload: &PayloadSchedule,
+        fault: &FaultModel,
+        reps: usize,
+        seed: u64,
+    ) -> Vec<FaultReport> {
+        let zeros = vec![0.0; plan.p()];
+        hpm_par::par_map_indexed_with(
+            reps,
+            || {
+                (
+                    SimScratch::new(self.placement),
+                    NetState::new(self.placement),
+                )
+            },
+            |(scratch, net), r| {
+                net.reset();
+                self.run_once_faulty(
+                    plan,
+                    payload,
+                    fault,
+                    &zeros,
+                    net,
+                    seed,
+                    crate::barrier::BARRIER_JITTER_LABEL,
+                    r as u64,
+                    scratch,
+                )
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::xeon_cluster_params;
+    use hpm_core::pattern::CommPattern;
+    use hpm_stats::fault::DropProb;
+    use hpm_topology::{cluster_8x2x4, Placement, PlacementPolicy};
+
+    fn dissemination(p: usize) -> CompiledPattern {
+        use hpm_core::matrix::IMat;
+        use hpm_core::pattern::BarrierPattern;
+        let stages = (p as f64).log2().ceil() as usize;
+        let mats = (0..stages)
+            .map(|s| {
+                let edges: Vec<(usize, usize)> = (0..p).map(|i| (i, (i + (1 << s)) % p)).collect();
+                IMat::from_edges(p, &edges)
+            })
+            .collect();
+        BarrierPattern::new("dissemination", p, mats).plan()
+    }
+
+    fn faulty_model() -> FaultModel {
+        FaultModel {
+            crash_count: 2,
+            crash_window: 1e-4,
+            drop: DropProb::uniform(0.05),
+            degraded_prob: 0.1,
+            degraded_mult: 3.0,
+            slow_prob: 0.2,
+            slow_mult: 2.0,
+            straggler_prob: 0.1,
+            straggler_scale: 5e-5,
+            straggler_alpha: 1.5,
+            ..FaultModel::NONE
+        }
+    }
+
+    fn sim_fixture(p: usize) -> (crate::params::PlatformParams, Placement) {
+        let params = xeon_cluster_params();
+        let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, p);
+        (params, placement)
+    }
+
+    /// The zero-fault property of the tentpole: a `FaultModel::NONE` run
+    /// is bitwise identical to the fault-free batched engine, sample by
+    /// sample.
+    #[test]
+    fn none_model_matches_fault_free_engine_bitwise() {
+        let p = 32;
+        let (params, placement) = sim_fixture(p);
+        let sim = BarrierSim::new(&params, &placement);
+        let plan = dissemination(p);
+        let payload = PayloadSchedule::none();
+        let mut net = NetState::new(&placement);
+        let mut scratch = SimScratch::new(&placement);
+        for rep in 0..8u64 {
+            let healthy = sim.run_total_batched(&plan, &payload, 4242, rep, &mut net, &mut scratch);
+            net.reset();
+            let report = sim.run_once_faulty(
+                &plan,
+                &payload,
+                &FaultModel::NONE,
+                &vec![0.0; p],
+                &mut net,
+                4242,
+                crate::barrier::BARRIER_JITTER_LABEL,
+                rep,
+                &mut scratch,
+            );
+            assert!(report.all_completed());
+            assert_eq!(report.retries, 0);
+            assert_eq!(report.lost_signals, 0);
+            assert_eq!(
+                report.total().to_bits(),
+                healthy.to_bits(),
+                "rep {rep}: faulty-but-neutral diverged from the healthy engine"
+            );
+        }
+    }
+
+    /// Faulty repetitions are bit-identical at any thread count, and
+    /// `measure_faulty` rep `r` equals a lone `run_once_faulty` at `r`.
+    #[test]
+    fn faulty_measure_is_thread_invariant_and_rep_keyed() {
+        let p = 24;
+        let (params, placement) = sim_fixture(p);
+        let sim = BarrierSim::new(&params, &placement);
+        let plan = dissemination(p);
+        let payload = PayloadSchedule::none();
+        let fault = faulty_model();
+        let serial = hpm_par::with_threads(Some(1), || {
+            sim.measure_faulty(&plan, &payload, &fault, 12, 99)
+        });
+        for threads in [2usize, 8] {
+            let par = hpm_par::with_threads(Some(threads), || {
+                sim.measure_faulty(&plan, &payload, &fault, 12, 99)
+            });
+            assert_eq!(serial, par, "threads {threads}");
+        }
+        let mut net = NetState::new(&placement);
+        let mut scratch = SimScratch::new(&placement);
+        for (r, rep_report) in serial.iter().enumerate() {
+            net.reset();
+            let lone = sim.run_once_faulty(
+                &plan,
+                &payload,
+                &fault,
+                &vec![0.0; p],
+                &mut net,
+                99,
+                crate::barrier::BARRIER_JITTER_LABEL,
+                r as u64,
+                &mut scratch,
+            );
+            assert_eq!(*rep_report, lone, "rep {r}");
+        }
+    }
+
+    /// The consumed-vs-planned audit extends to fault draws: a faulty
+    /// run consumes exactly `fault_drop_draws(plan)` drop uniforms and
+    /// the plan's jitter draws — knob values notwithstanding.
+    #[test]
+    fn faulty_executor_consumes_exactly_the_plan_reported_draws() {
+        let p = 16;
+        let (params, placement) = sim_fixture(p);
+        let sim = BarrierSim::new(&params, &placement);
+        let plan = dissemination(p);
+        let payload = PayloadSchedule::none();
+        assert_eq!(
+            fault_drop_draws(&plan),
+            (0..plan.stages())
+                .map(|s| plan.stage(s).edge_count())
+                .sum::<usize>()
+        );
+        let mut net = NetState::new(&placement);
+        let mut scratch = SimScratch::new(&placement);
+        for fault in [FaultModel::NONE, faulty_model()] {
+            net.reset();
+            let _ = sim.run_once_faulty(
+                &plan,
+                &payload,
+                &fault,
+                &vec![0.0; p],
+                &mut net,
+                7,
+                crate::barrier::BARRIER_JITTER_LABEL,
+                0,
+                &mut scratch,
+            );
+            // The debug asserts inside run_once_faulty enforce the
+            // counts; in release builds this test still pins the jitter
+            // cursor through the scratch.
+            assert_eq!(scratch.jitter().consumed(), plan.jitter_draws());
+        }
+    }
+
+    /// Crashed ranks report as crashed; their expected receivers time
+    /// out rather than hang; survivors still finish.
+    #[test]
+    fn crashes_surface_as_outcomes_not_hangs() {
+        let p = 16;
+        let (params, placement) = sim_fixture(p);
+        let sim = BarrierSim::new(&params, &placement);
+        let plan = dissemination(p);
+        let fault = FaultModel {
+            crash_count: 2,
+            crash_window: 1e-5,
+            ..FaultModel::NONE
+        };
+        let reports = sim.measure_faulty(&plan, &PayloadSchedule::none(), &fault, 6, 5);
+        for (r, report) in reports.iter().enumerate() {
+            let crashed: Vec<usize> = (0..p)
+                .filter(|&i| matches!(report.outcomes[i], RankOutcome::Crashed(_)))
+                .collect();
+            assert_eq!(crashed.len(), 2, "rep {r}");
+            assert!(report.suppressed_signals > 0, "rep {r}");
+            // In a dissemination barrier every rank expects signals from
+            // the crashed ranks eventually, so timeouts must appear.
+            assert!(
+                report
+                    .outcomes
+                    .iter()
+                    .any(|o| matches!(o, RankOutcome::TimedOut(_))),
+                "rep {r}: no rank timed out despite crashes"
+            );
+            assert!(report.total().is_finite());
+        }
+    }
+
+    /// Drops slow the barrier down (retry latency) without changing who
+    /// completes, and retries are reported.
+    #[test]
+    fn drops_cost_retries_and_inflate_completion() {
+        let p = 32;
+        let (params, placement) = sim_fixture(p);
+        let sim = BarrierSim::new(&params, &placement);
+        let plan = dissemination(p);
+        let payload = PayloadSchedule::none();
+        let clean = sim.measure_faulty(&plan, &payload, &FaultModel::NONE, 16, 21);
+        let dropped = sim.measure_faulty(
+            &plan,
+            &payload,
+            &FaultModel {
+                drop: DropProb::uniform(0.08),
+                max_retries: 10,
+                ..FaultModel::NONE
+            },
+            16,
+            21,
+        );
+        let mean =
+            |rs: &[FaultReport]| rs.iter().map(FaultReport::total).sum::<f64>() / rs.len() as f64;
+        let retries: u64 = dropped.iter().map(|r| r.retries).sum();
+        assert!(retries > 0, "8% drop over 16 reps must retry at least once");
+        assert!(dropped.iter().all(FaultReport::all_completed));
+        assert!(
+            mean(&dropped) > mean(&clean),
+            "retries must inflate completion: {} vs {}",
+            mean(&dropped),
+            mean(&clean)
+        );
+    }
+
+    /// Stragglers delay entry, and the delay propagates into completion
+    /// times roughly like the §5.5 entry-skew experiment.
+    #[test]
+    fn stragglers_delay_completion() {
+        let p = 16;
+        let (params, placement) = sim_fixture(p);
+        let sim = BarrierSim::new(&params, &placement);
+        let plan = dissemination(p);
+        let payload = PayloadSchedule::none();
+        let clean = sim.measure_faulty(&plan, &payload, &FaultModel::NONE, 16, 3);
+        let straggly = sim.measure_faulty(
+            &plan,
+            &payload,
+            &FaultModel {
+                straggler_prob: 0.3,
+                straggler_scale: 1e-3,
+                straggler_alpha: 1.5,
+                ..FaultModel::NONE
+            },
+            16,
+            3,
+        );
+        let mean =
+            |rs: &[FaultReport]| rs.iter().map(FaultReport::total).sum::<f64>() / rs.len() as f64;
+        assert!(
+            mean(&straggly) > 2.0 * mean(&clean),
+            "millisecond-scale stragglers must dominate: {} vs {}",
+            mean(&straggly),
+            mean(&clean)
+        );
+    }
+
+    /// Report bookkeeping: survivors and failed partition the ranks.
+    #[test]
+    fn survivors_and_failed_partition_ranks() {
+        let p = 16;
+        let (params, placement) = sim_fixture(p);
+        let sim = BarrierSim::new(&params, &placement);
+        let plan = dissemination(p);
+        let fault = faulty_model();
+        let reports = sim.measure_faulty(&plan, &PayloadSchedule::none(), &fault, 4, 13);
+        for report in &reports {
+            let mut all: Vec<usize> = report.survivors();
+            all.extend(report.failed());
+            all.sort_unstable();
+            assert_eq!(all, (0..p).collect::<Vec<_>>());
+            assert_eq!(report.completed_count(), report.survivors().len());
+        }
+    }
+}

@@ -31,6 +31,7 @@
 pub mod barrier;
 pub mod batch;
 pub mod exchange;
+pub mod faults;
 pub mod microbench;
 pub mod net;
 pub mod params;
@@ -41,9 +42,10 @@ pub use exchange::{
     exchange_jitter_draws, resolve_exchange, resolve_exchange_into, ExchangeMsg, ExchangeResult,
     ExchangeScratch,
 };
+pub use faults::{fault_drop_draws, FaultReport, RankOutcome};
 pub use microbench::{
     bench_platform, bench_platform_classes, ClassCosts, ClassProfile, MicrobenchConfig,
     PlatformProfile,
 };
-pub use net::NetState;
+pub use net::{FaultyTransfer, NetState, SignalFate};
 pub use params::{LinkCost, PlatformParams};

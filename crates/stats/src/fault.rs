@@ -1,0 +1,513 @@
+//! Deterministic fault injection: the model and its per-repetition
+//! realization.
+//!
+//! Real clusters crash, drop signals, degrade links and straggle; the
+//! thesis models healthy machines only. This module supplies the fault
+//! layer's *randomness contract*, built exactly like the jitter engine
+//! (see DESIGN.md, "The fault layer"): every fault decision is realized
+//! from counter-based [`SplitMix64`] streams keyed
+//! `(seed, label, rep)`, so a repetition's faults depend only on its own
+//! coordinates — never on thread count, lane width or execution order —
+//! and the zero-fault configuration draws from *disjoint* streams,
+//! leaving the fault-free draw order untouched bit-for-bit.
+//!
+//! Two streams per repetition:
+//!
+//! * [`FAULT_LABEL`] — the **plan stream**: crash set and crash times,
+//!   per-node correlated slow periods and degraded links, per-rank
+//!   Pareto-tailed straggler delays. Fixed draw order; realized once
+//!   per repetition into a [`FaultPlan`].
+//! * [`FAULT_DROP_LABEL`] — the **drop stream**: exactly one uniform per
+//!   planned signal, converted to a retransmission-attempt count by the
+//!   geometric inverse CDF (see [`attempts_from_uniform`]). One draw per
+//!   signal — consumed even for suppressed (crashed-sender) signals —
+//!   keeps the drop-draw count a pure function of the plan shape, which
+//!   is what lets `hpm-analyze`'s draw audit extend to fault draws and
+//!   keeps lane/thread invariance trivial.
+
+use crate::stream::{ParetoQuantileTable, SplitMix64};
+
+/// Stream label of the per-repetition fault-plan realization ("FALT").
+pub const FAULT_LABEL: u64 = 0x4641_4C54;
+
+/// Stream label of the per-signal drop/attempt stream ("DROP").
+pub const FAULT_DROP_LABEL: u64 = 0x4452_4F50;
+
+/// Per-link-class drop probabilities. The simulator classifies each
+/// signal by whether it crosses node boundaries; intra-node transport
+/// (shared memory) and the wire fail at very different rates, so the
+/// knobs are separate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DropProb {
+    /// Drop probability of intra-node signals.
+    pub local: f64,
+    /// Drop probability of inter-node (wire) signals.
+    pub remote: f64,
+}
+
+impl DropProb {
+    /// No drops on either class.
+    pub const NONE: DropProb = DropProb {
+        local: 0.0,
+        remote: 0.0,
+    };
+
+    /// The same probability on both classes.
+    pub fn uniform(p: f64) -> DropProb {
+        DropProb {
+            local: p,
+            remote: p,
+        }
+    }
+}
+
+/// The fault configuration: what *can* go wrong and how often.
+///
+/// All knobs at their [`FaultModel::NONE`] values make every realized
+/// [`FaultPlan`] neutral — no crashes, all multipliers exactly 1.0, all
+/// delays exactly +0.0 — and the faulty executor's arithmetic collapses
+/// to the fault-free path bit-for-bit (`x·1.0 ≡ x`, `x + 0.0 ≡ x` in
+/// IEEE-754 for the finite non-negative times the simulator produces).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Ranks crashed per repetition (drawn without replacement).
+    pub crash_count: usize,
+    /// Crash times are uniform in `[0, crash_window)` seconds.
+    pub crash_window: f64,
+    /// Per-link-class signal drop probability.
+    pub drop: DropProb,
+    /// Probability a node's NIC/link is degraded for the repetition.
+    pub degraded_prob: f64,
+    /// Wire-time multiplier on signals touching a degraded node (≥ 1).
+    pub degraded_mult: f64,
+    /// Probability a node spends the repetition in a slow period
+    /// (correlated across every draw on that node).
+    pub slow_prob: f64,
+    /// Service-time multiplier on slow nodes (≥ 1).
+    pub slow_mult: f64,
+    /// Probability a rank straggles into the repetition.
+    pub straggler_prob: f64,
+    /// Scale (seconds) of the straggler entry delay.
+    pub straggler_scale: f64,
+    /// Pareto tail exponent of the straggler delay (smaller = heavier).
+    pub straggler_alpha: f64,
+    /// Seconds a sender waits for an acknowledgement before
+    /// retransmitting, and a receiver waits past its post before
+    /// declaring a missing signal timed out.
+    pub timeout: f64,
+    /// Retransmissions attempted before a signal is declared lost.
+    pub max_retries: u32,
+    /// Exponential backoff factor between retransmissions (≥ 1).
+    pub backoff: f64,
+}
+
+impl FaultModel {
+    /// The healthy cluster: nothing fails, nothing straggles.
+    pub const NONE: FaultModel = FaultModel {
+        crash_count: 0,
+        crash_window: 0.0,
+        drop: DropProb::NONE,
+        degraded_prob: 0.0,
+        degraded_mult: 1.0,
+        slow_prob: 0.0,
+        slow_mult: 1.0,
+        straggler_prob: 0.0,
+        straggler_scale: 0.0,
+        straggler_alpha: 2.0,
+        timeout: 1e-3,
+        max_retries: 3,
+        backoff: 2.0,
+    };
+
+    /// True when every realized plan is neutral and no signal can drop —
+    /// the executor may (but need not) skip fault bookkeeping entirely.
+    pub fn is_none(&self) -> bool {
+        self.crash_count == 0
+            && self.drop == DropProb::NONE
+            && self.degraded_prob == 0.0
+            && self.slow_prob == 0.0
+            && self.straggler_prob == 0.0
+    }
+
+    /// Validates the knob ranges (probabilities in [0,1], multipliers
+    /// ≥ 1, positive timeout/backoff). Call once per configuration.
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("drop.local", self.drop.local),
+            ("drop.remote", self.drop.remote),
+            ("degraded_prob", self.degraded_prob),
+            ("slow_prob", self.slow_prob),
+            ("straggler_prob", self.straggler_prob),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p) && p < 1.0,
+                "{name} must be in [0,1), got {p}"
+            );
+        }
+        assert!(self.degraded_mult >= 1.0, "degraded_mult must be >= 1");
+        assert!(self.slow_mult >= 1.0, "slow_mult must be >= 1");
+        assert!(self.crash_window >= 0.0, "crash_window must be >= 0");
+        assert!(self.straggler_scale >= 0.0, "straggler_scale must be >= 0");
+        assert!(self.timeout > 0.0, "timeout must be positive");
+        assert!(self.backoff >= 1.0, "backoff must be >= 1");
+    }
+
+    /// Plan-stream draws consumed by [`FaultPlan::realize`] for `p`
+    /// ranks on `nodes` nodes — the fault twin of
+    /// `CompiledPattern::jitter_draws`, audited by the determinism
+    /// tests. A pure function of the model and the machine shape.
+    pub fn plan_draws(&self, p: usize, nodes: usize) -> usize {
+        if self.is_none() {
+            return 0;
+        }
+        2 * self.crash_count.min(p) + 2 * nodes + 2 * p
+    }
+
+    /// The added latency of `attempts − 1` retransmissions: the sender
+    /// burns the full (exponentially backed-off) timeout of every
+    /// failed attempt before the one that lands.
+    pub fn retry_delay(&self, attempts: u32) -> f64 {
+        let mut delay = 0.0;
+        let mut window = self.timeout;
+        for _ in 1..attempts {
+            delay += window;
+            window *= self.backoff;
+        }
+        delay
+    }
+
+    /// The full retry budget: time burned when every attempt fails and
+    /// the signal is declared lost (`max_retries + 1` windows).
+    pub fn loss_delay(&self) -> f64 {
+        self.retry_delay(self.max_retries + 2)
+    }
+}
+
+/// Converts one uniform into a delivery-attempt count by the geometric
+/// inverse CDF: `P(first n attempts all drop) = drop_p^n`, so
+/// `attempts = 1 + ⌊ln(u)/ln(drop_p)⌋`. `drop_p ≤ 0` yields 1 attempt
+/// (the caller consumes the uniform regardless, keeping the drop-draw
+/// count independent of the knob values). Counts above
+/// `max_retries + 1` mean the signal was lost.
+#[inline]
+pub fn attempts_from_uniform(u: f64, drop_p: f64) -> u32 {
+    if drop_p <= 0.0 {
+        return 1;
+    }
+    debug_assert!(drop_p < 1.0, "drop probability must be < 1, got {drop_p}");
+    let failures = (u.ln() / drop_p.ln()) as u32;
+    1 + failures
+}
+
+/// The per-signal drop stream: one uniform per planned signal from
+/// `(seed, FAULT_DROP_LABEL, rep)`, with a draw counter so executors can
+/// audit consumed-vs-planned exactly like the jitter engine does.
+#[derive(Debug, Clone)]
+pub struct DropStream {
+    stream: SplitMix64,
+    drawn: usize,
+}
+
+impl DropStream {
+    /// Stream for repetition `rep`.
+    pub fn new(seed: u64, rep: u64) -> DropStream {
+        DropStream {
+            stream: SplitMix64::from_parts(seed, FAULT_DROP_LABEL, rep),
+            drawn: 0,
+        }
+    }
+
+    /// The next uniform in (0, 1); every planned signal consumes exactly
+    /// one, dropped-or-not, crashed-sender-or-not.
+    #[inline]
+    pub fn next_uniform(&mut self) -> f64 {
+        self.drawn += 1;
+        self.stream.next_unit_open()
+    }
+
+    /// Uniforms consumed since construction.
+    pub fn drawn(&self) -> usize {
+        self.drawn
+    }
+}
+
+/// One repetition's realized faults: which ranks crash when, which
+/// nodes are slow or degraded, which ranks straggle — everything the
+/// executor needs, precomputed so the hot loop reads arrays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Per-rank crash time; `f64::INFINITY` for surviving ranks.
+    pub crash_time: Vec<f64>,
+    /// Per-node service-time multiplier (1.0 = healthy).
+    pub node_slow: Vec<f64>,
+    /// Per-node wire-time multiplier (1.0 = healthy link).
+    pub node_degraded: Vec<f64>,
+    /// Per-rank entry delay in seconds (+0.0 = on time).
+    pub straggler_delay: Vec<f64>,
+}
+
+impl FaultPlan {
+    /// A neutral plan: nobody crashes, every multiplier is exactly 1.0,
+    /// every delay exactly +0.0 — bitwise inert under IEEE-754.
+    pub fn neutral(p: usize, nodes: usize) -> FaultPlan {
+        FaultPlan {
+            crash_time: vec![f64::INFINITY; p],
+            node_slow: vec![1.0; nodes],
+            node_degraded: vec![1.0; nodes],
+            straggler_delay: vec![0.0; p],
+        }
+    }
+
+    /// Realizes `model` for repetition `rep` from the plan stream
+    /// `(seed, FAULT_LABEL, rep)`. The draw order is fixed — crash
+    /// ranks, crash times, per-node slow/degraded gates, per-rank
+    /// straggler gate + magnitude — and the draw count is
+    /// [`FaultModel::plan_draws`] exactly. A [`FaultModel::is_none`]
+    /// model short-circuits to [`FaultPlan::neutral`] without touching
+    /// the stream.
+    pub fn realize(model: &FaultModel, p: usize, nodes: usize, seed: u64, rep: u64) -> FaultPlan {
+        let mut plan = FaultPlan::neutral(p, nodes);
+        if model.is_none() {
+            return plan;
+        }
+        let mut s = SplitMix64::from_parts(seed, FAULT_LABEL, rep);
+        // Crash set: k draws mapped onto ranks, collisions resolved by
+        // upward linear probing so the draw count stays fixed at k.
+        let k = model.crash_count.min(p);
+        for _ in 0..k {
+            let mut r = (s.next_u64() % p as u64) as usize;
+            while plan.crash_time[r] < f64::INFINITY {
+                r = (r + 1) % p;
+            }
+            plan.crash_time[r] = 0.0; // marked; time assigned below
+        }
+        // Crash times, in rank order so the assignment is deterministic.
+        for t in plan.crash_time.iter_mut() {
+            if *t < f64::INFINITY {
+                *t = s.next_unit_open() * model.crash_window;
+            }
+        }
+        // Correlated per-node state: one slow gate and one degraded gate
+        // per node, both always drawn.
+        for n in 0..nodes {
+            let u_slow = s.next_unit_open();
+            let u_deg = s.next_unit_open();
+            if u_slow < model.slow_prob {
+                plan.node_slow[n] = model.slow_mult;
+            }
+            if u_deg < model.degraded_prob {
+                plan.node_degraded[n] = model.degraded_mult;
+            }
+        }
+        // Per-rank stragglers: gate and Pareto magnitude, both always
+        // drawn so the count is independent of the gate outcomes.
+        let pareto = if model.straggler_prob > 0.0 && model.straggler_scale > 0.0 {
+            Some(ParetoQuantileTable::new(model.straggler_alpha))
+        } else {
+            None
+        };
+        for d in plan.straggler_delay.iter_mut() {
+            let u_gate = s.next_unit_open();
+            let u_mag = s.next_unit_open();
+            if let Some(tab) = &pareto {
+                if u_gate < model.straggler_prob {
+                    *d = model.straggler_scale * tab.mult(u_mag);
+                }
+            }
+        }
+        plan
+    }
+
+    /// True when rank `i` has crashed by time `t`.
+    #[inline]
+    pub fn crashed_at(&self, rank: usize, t: f64) -> bool {
+        t >= self.crash_time[rank]
+    }
+
+    /// Ranks that crash at any time in this repetition.
+    pub fn crashed_ranks(&self) -> Vec<usize> {
+        (0..self.crash_time.len())
+            .filter(|&r| self.crash_time[r] < f64::INFINITY)
+            .collect()
+    }
+
+    /// Wire-time multiplier of a signal between two nodes: the worse of
+    /// the two endpoint links (a degraded NIC bottlenecks both
+    /// directions).
+    #[inline]
+    pub fn wire_mult(&self, src_node: usize, dst_node: usize) -> f64 {
+        self.node_degraded[src_node].max(self.node_degraded[dst_node])
+    }
+
+    /// True when every field is bitwise neutral.
+    pub fn is_neutral(&self) -> bool {
+        self.crash_time.iter().all(|t| *t == f64::INFINITY)
+            && self.node_slow.iter().all(|m| *m == 1.0)
+            && self.node_degraded.iter().all(|m| *m == 1.0)
+            && self.straggler_delay.iter().all(|d| *d == 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn faulty_model() -> FaultModel {
+        FaultModel {
+            crash_count: 3,
+            crash_window: 1e-3,
+            drop: DropProb::uniform(0.05),
+            degraded_prob: 0.2,
+            degraded_mult: 4.0,
+            slow_prob: 0.3,
+            slow_mult: 2.0,
+            straggler_prob: 0.1,
+            straggler_scale: 1e-4,
+            straggler_alpha: 1.5,
+            ..FaultModel::NONE
+        }
+    }
+
+    #[test]
+    fn none_model_realizes_neutral_without_draws() {
+        let plan = FaultPlan::realize(&FaultModel::NONE, 16, 4, 42, 0);
+        assert!(plan.is_neutral());
+        assert_eq!(plan, FaultPlan::neutral(16, 4));
+        assert_eq!(FaultModel::NONE.plan_draws(16, 4), 0);
+    }
+
+    #[test]
+    fn realization_is_deterministic_per_rep_and_distinct_across_reps() {
+        let m = faulty_model();
+        let a = FaultPlan::realize(&m, 32, 8, 7, 5);
+        let b = FaultPlan::realize(&m, 32, 8, 7, 5);
+        assert_eq!(a, b);
+        let c = FaultPlan::realize(&m, 32, 8, 7, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn crash_set_has_exactly_k_distinct_ranks_inside_the_window() {
+        let m = faulty_model();
+        for rep in 0..50 {
+            let plan = FaultPlan::realize(&m, 32, 8, 11, rep);
+            let crashed = plan.crashed_ranks();
+            assert_eq!(crashed.len(), 3, "rep {rep}");
+            for &r in &crashed {
+                let t = plan.crash_time[r];
+                assert!(
+                    (0.0..m.crash_window).contains(&t),
+                    "rep {rep} rank {r} t {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crash_count_saturates_at_p() {
+        let m = FaultModel {
+            crash_count: 99,
+            crash_window: 1.0,
+            ..FaultModel::NONE
+        };
+        let plan = FaultPlan::realize(&m, 8, 2, 1, 0);
+        assert_eq!(plan.crashed_ranks().len(), 8);
+    }
+
+    #[test]
+    fn node_states_hit_their_configured_rates() {
+        let m = faulty_model();
+        let (mut slow, mut deg, mut strag) = (0usize, 0usize, 0usize);
+        let reps = 2000u64;
+        let (p, nodes) = (16, 8);
+        for rep in 0..reps {
+            let plan = FaultPlan::realize(&m, p, nodes, 3, rep);
+            slow += plan.node_slow.iter().filter(|&&x| x > 1.0).count();
+            deg += plan.node_degraded.iter().filter(|&&x| x > 1.0).count();
+            strag += plan.straggler_delay.iter().filter(|&&x| x > 0.0).count();
+        }
+        let rate = |hits: usize, per: usize| hits as f64 / (reps as usize * per) as f64;
+        assert!((rate(slow, nodes) - m.slow_prob).abs() < 0.02);
+        assert!((rate(deg, nodes) - m.degraded_prob).abs() < 0.02);
+        assert!((rate(strag, p) - m.straggler_prob).abs() < 0.02);
+    }
+
+    #[test]
+    fn geometric_attempts_match_drop_probability() {
+        // P(attempts > 1) = drop_p; P(attempts > 2) = drop_p².
+        let drop_p = 0.3;
+        let mut s = SplitMix64::from_parts(9, 9, 9);
+        let n = 100_000;
+        let (mut retried, mut retried_twice) = (0usize, 0usize);
+        for _ in 0..n {
+            let a = attempts_from_uniform(s.next_unit_open(), drop_p);
+            assert!(a >= 1);
+            if a > 1 {
+                retried += 1;
+            }
+            if a > 2 {
+                retried_twice += 1;
+            }
+        }
+        assert!((retried as f64 / n as f64 - drop_p).abs() < 0.01);
+        assert!((retried_twice as f64 / n as f64 - drop_p * drop_p).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_drop_probability_is_one_attempt() {
+        assert_eq!(attempts_from_uniform(0.5, 0.0), 1);
+        assert_eq!(attempts_from_uniform(1e-12, 0.0), 1);
+    }
+
+    #[test]
+    fn retry_delay_follows_exponential_backoff() {
+        let m = FaultModel {
+            timeout: 1.0,
+            backoff: 2.0,
+            max_retries: 3,
+            ..FaultModel::NONE
+        };
+        assert_eq!(m.retry_delay(1), 0.0);
+        assert_eq!(m.retry_delay(2), 1.0);
+        assert_eq!(m.retry_delay(3), 3.0);
+        assert_eq!(m.retry_delay(4), 7.0);
+        // Loss burns all max_retries + 1 windows: 1 + 2 + 4 + 8.
+        assert_eq!(m.loss_delay(), 15.0);
+    }
+
+    #[test]
+    fn drop_stream_counts_its_draws() {
+        let mut d = DropStream::new(4, 2);
+        for _ in 0..17 {
+            let u = d.next_uniform();
+            assert!(u > 0.0 && u < 1.0);
+        }
+        assert_eq!(d.drawn(), 17);
+        // Same (seed, rep) → same stream.
+        let mut e = DropStream::new(4, 2);
+        let mut f = DropStream::new(4, 2);
+        assert_eq!(e.next_uniform().to_bits(), f.next_uniform().to_bits());
+    }
+
+    #[test]
+    fn plan_draw_count_matches_the_declared_formula() {
+        let m = faulty_model();
+        assert_eq!(m.plan_draws(32, 8), 2 * 3 + 2 * 8 + 2 * 32);
+    }
+
+    #[test]
+    fn validate_accepts_the_faulty_model() {
+        faulty_model().validate();
+        FaultModel::NONE.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn validate_rejects_degraded_mult_below_one() {
+        FaultModel {
+            degraded_mult: 0.5,
+            ..FaultModel::NONE
+        }
+        .validate();
+    }
+}

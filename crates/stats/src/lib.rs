@@ -9,6 +9,7 @@
 //! microbenchmarks. This crate implements those tools with no external
 //! numerical dependencies.
 
+pub mod fault;
 pub mod outlier;
 pub mod quantile;
 pub mod regression;
@@ -17,10 +18,14 @@ pub mod stream;
 pub mod summary;
 pub mod tdist;
 
+pub use fault::{
+    attempts_from_uniform, DropProb, DropStream, FaultModel, FaultPlan, FAULT_DROP_LABEL,
+    FAULT_LABEL,
+};
 pub use outlier::{filter_outlier_means, OutlierReport};
 pub use quantile::{median, quantile};
 pub use regression::LinearFit;
-pub use rng::{derive_rng, JitterBuf, JitterModel, JitterSource, ScalarJitter};
-pub use stream::{fast_exp, norminv, NormalSource, SplitMix64};
+pub use rng::{derive_rng, JitterBuf, JitterModel, JitterSource, ParetoJitter, ScalarJitter};
+pub use stream::{fast_exp, norminv, NormalSource, ParetoQuantileTable, SplitMix64};
 pub use summary::{mean, Summary};
 pub use tdist::{student_t_critical, StudentT};

@@ -279,6 +279,78 @@ impl LognormalQuantileTable {
     }
 }
 
+/// The Pareto multiplier quantile function `u ↦ (2(1−u))^(−1/α)`,
+/// median 1, tabulated on a uniform grid and served by linear
+/// interpolation — the heavy-tailed sibling of
+/// [`LognormalQuantileTable`] for straggler modeling (ROADMAP 5a).
+///
+/// A Pareto tail with exponent α has survival `P(X > x) ∝ x^(−α)`:
+/// unlike the log-normal, whose tail thins super-polynomially, a small
+/// fraction of draws is *much* larger than the median — the empirical
+/// signature of stragglers. Normalizing the scale so the median is 1
+/// keeps the multiplier convention of the jitter engine (median draw =
+/// noise-free value). The minimum multiplier is `2^(−1/α)` < 1, so the
+/// distribution straddles 1 like the log-normal does.
+///
+/// The exact path evaluates `exp(−ln(2(1−u))/α)` via [`fast_exp`] and
+/// libm `ln` — like the `norminv` tail branches, `ln` keeps absolute
+/// golden hashes gated to the CI platform. The upper tail diverges as
+/// `u → 1`, so the slow margin is twice the log-normal table's.
+#[derive(Debug, Clone)]
+pub struct ParetoQuantileTable {
+    alpha: f64,
+    /// `knots[k] = (2(1 − k/CELLS))^(−1/α)`; the first and last
+    /// [`Self::SLOW_MARGIN`] knots are never read (NaN-poisoned).
+    knots: Vec<f64>,
+}
+
+impl ParetoQuantileTable {
+    /// Grid cells (shared with [`LognormalQuantileTable`]).
+    pub const CELLS: usize = LognormalQuantileTable::CELLS;
+    /// Cells at each end served by the exact path — wider than the
+    /// log-normal margin because the Pareto upper tail diverges.
+    pub const SLOW_MARGIN: usize = 64;
+
+    /// Builds the table for tail exponent `alpha` (must exceed 0.05 so
+    /// the exact path stays inside [`fast_exp`]'s domain).
+    pub fn new(alpha: f64) -> ParetoQuantileTable {
+        assert!(
+            alpha.is_finite() && alpha > 0.05,
+            "pareto tail exponent must be finite and > 0.05, got {alpha}"
+        );
+        let mut knots = vec![f64::NAN; Self::CELLS + 1];
+        for (k, slot) in knots.iter_mut().enumerate() {
+            if (Self::SLOW_MARGIN..=Self::CELLS - Self::SLOW_MARGIN).contains(&k) {
+                *slot = Self::exact(alpha, k as f64 / Self::CELLS as f64);
+            }
+        }
+        ParetoQuantileTable { alpha, knots }
+    }
+
+    /// The α this table was built for.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    #[inline]
+    fn exact(alpha: f64, u: f64) -> f64 {
+        fast_exp(-(2.0 * (1.0 - u)).ln() / alpha)
+    }
+
+    /// The multiplier at quantile `u ∈ (0, 1)`.
+    #[inline]
+    pub fn mult(&self, u: f64) -> f64 {
+        let t = u * Self::CELLS as f64;
+        let k = t as usize;
+        if !(Self::SLOW_MARGIN..Self::CELLS - Self::SLOW_MARGIN).contains(&k) {
+            return Self::exact(self.alpha, u);
+        }
+        let a = self.knots[k];
+        let b = self.knots[k + 1];
+        a + (t - k as f64) * (b - a)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,5 +463,41 @@ mod tests {
             // Median is exact to interpolation accuracy.
             assert!((tab.mult(0.5) - 1.0).abs() < 1e-6);
         }
+    }
+
+    /// The Pareto table tracks its exact composition the same way the
+    /// log-normal table does, across the central region and both tails.
+    #[test]
+    fn pareto_table_tracks_exact_composition() {
+        for alpha in [1.1, 2.5, 6.0] {
+            let tab = ParetoQuantileTable::new(alpha);
+            let mut u: f64 = 1e-5;
+            while u < 1.0 {
+                let exact = fast_exp(-(2.0 * (1.0 - u)).ln() / alpha);
+                let got = tab.mult(u);
+                let rel = (got - exact).abs() / exact;
+                assert!(rel < 1e-3, "alpha {alpha} u {u}: {got} vs {exact}");
+                u += 3.33e-4;
+            }
+            assert!((tab.mult(0.5) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    /// Pareto draws are heavy-tailed: the sample mean of a median-1
+    /// Pareto stream sits well above the median, and far above the
+    /// matching log-normal's, while the minimum stays at `2^(−1/α)`.
+    #[test]
+    fn pareto_draws_are_heavy_tailed_with_median_one() {
+        let alpha = 1.5;
+        let tab = ParetoQuantileTable::new(alpha);
+        let mut s = SplitMix64::from_parts(77, 1, 0);
+        let draws: Vec<f64> = (0..100_000).map(|_| tab.mult(s.next_unit_open())).collect();
+        let floor = fast_exp(-std::f64::consts::LN_2 / alpha);
+        assert!(draws.iter().all(|&m| m >= floor * (1.0 - 1e-12)));
+        let med = quantile(&draws, 0.5);
+        assert!((med - 1.0).abs() < 0.02, "median {med}");
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        // α = 1.5 has finite mean x_m·α/(α−1) = 2^(−2/3)·3 ≈ 1.89.
+        assert!(mean > 1.5, "mean {mean} not heavy-tailed");
     }
 }

@@ -90,6 +90,94 @@ fn measure_samples_match_jitter_engine_goldens() {
     assert_eq!(fnv_samples(&m.samples), 0x7841983e9cac3925);
 }
 
+/// A representatively nasty fault model for the determinism tests:
+/// every fault class enabled at once.
+fn stress_fault_model() -> hpm::stats::fault::FaultModel {
+    use hpm::stats::fault::{DropProb, FaultModel};
+    FaultModel {
+        crash_count: 2,
+        crash_window: 1e-4,
+        drop: DropProb::uniform(0.02),
+        degraded_prob: 0.1,
+        degraded_mult: 3.0,
+        slow_prob: 0.2,
+        slow_mult: 1.5,
+        straggler_prob: 0.1,
+        straggler_scale: 1e-4,
+        straggler_alpha: 1.5,
+        timeout: 2e-4,
+        ..FaultModel::NONE
+    }
+}
+
+/// PR 9 acceptance: faulty runs are as deterministic as healthy ones.
+/// `measure_faulty` under a fully-loaded fault model is bit-identical at
+/// every thread count, and repetition `r` of the fan-out reproduces a
+/// lone `run_once_faulty` at `rep = r` exactly — worker grouping is
+/// invisible, the same contract the healthy lane batching keeps.
+#[test]
+fn faulty_measure_bit_identical_across_thread_counts() {
+    use hpm::barriers::patterns::dissemination;
+    use hpm::model::pattern::CommPattern;
+    use hpm::model::predictor::PayloadSchedule;
+    use hpm::simnet::barrier::{BarrierSim, SimScratch, BARRIER_JITTER_LABEL};
+    use hpm::simnet::net::NetState;
+
+    let params = xeon_cluster_params();
+    let p = 64;
+    let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, p);
+    let sim = BarrierSim::new(&params, &placement);
+    let plan = dissemination(p).plan();
+    let fault = stress_fault_model();
+    let reps = 32;
+    let seed = 2026;
+    let serial = hpm::par::with_threads(Some(1), || {
+        sim.measure_faulty(&plan, &PayloadSchedule::none(), &fault, reps, seed)
+    });
+    assert_eq!(serial.len(), reps);
+    // The model actually bites: some repetition crashed or timed out.
+    assert!(
+        serial.iter().any(|r| !r.all_completed()),
+        "stress model produced no faulty outcome"
+    );
+    for threads in [2, 8] {
+        let par = hpm::par::with_threads(Some(threads), || {
+            sim.measure_faulty(&plan, &PayloadSchedule::none(), &fault, reps, seed)
+        });
+        assert_eq!(serial, par, "faulty reports moved at {threads} threads");
+    }
+    // Lane/worker invisibility: repetition r ≡ a lone faulty run at rep r.
+    let mut scratch = SimScratch::new(&placement);
+    let mut net = NetState::new(&placement);
+    let zeros = vec![0.0; p];
+    for r in [0usize, 7, 31] {
+        net.reset();
+        let lone = sim.run_once_faulty(
+            &plan,
+            &PayloadSchedule::none(),
+            &fault,
+            &zeros,
+            &mut net,
+            seed,
+            BARRIER_JITTER_LABEL,
+            r as u64,
+            &mut scratch,
+        );
+        assert_eq!(serial[r], lone, "rep {r}");
+    }
+    // Golden pin of the faulty exit stream (same platform gate as the
+    // healthy goldens above: deep-tail draws route through libm `ln`).
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    {
+        let totals: Vec<f64> = serial.iter().map(|r| r.total()).collect();
+        assert_eq!(
+            fnv_samples(&totals),
+            0x7663fe4035a77fb7,
+            "faulty exit stream diverged from its golden"
+        );
+    }
+}
+
 /// Runs the given experiments at quick effort into a throwaway directory
 /// and returns every produced file as `(name, bytes)`.
 fn run_all(ids: &[&str], threads: usize, tag: &str) -> Vec<(String, Vec<u8>)> {
@@ -293,6 +381,42 @@ fn assert_completion_covers(tr: &SuperstepTrace, ctxt: &str) {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// PR 9 acceptance: a zero-fault `FaultModel` leaves the faulty
+    /// executor bitwise identical to the fault-free `measure_compiled` —
+    /// for random process counts, repetition counts and seeds. Fault
+    /// randomness lives in disjoint streams and neutral plans multiply
+    /// by exactly 1.0 / add +0.0, so not a single bit may move.
+    #[test]
+    fn zero_fault_measure_matches_fault_free_bitwise(
+        p in 2usize..32,
+        reps in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        use hpm::barriers::patterns::dissemination;
+        use hpm::model::pattern::CommPattern;
+        use hpm::model::predictor::PayloadSchedule;
+        use hpm::simnet::barrier::BarrierSim;
+        use hpm::stats::fault::FaultModel;
+
+        let params = xeon_cluster_params();
+        let placement = Placement::new(cluster_8x2x4(), PlacementPolicy::RoundRobin, p);
+        let sim = BarrierSim::new(&params, &placement);
+        let plan = dissemination(p).plan();
+        let healthy = sim.measure_compiled(&plan, &PayloadSchedule::none(), reps, seed);
+        let faulty = sim.measure_faulty(&plan, &PayloadSchedule::none(), &FaultModel::NONE, reps, seed);
+        prop_assert_eq!(healthy.samples.len(), reps);
+        prop_assert_eq!(faulty.len(), reps);
+        for (r, rep) in faulty.iter().enumerate() {
+            prop_assert!(rep.all_completed(), "rep {} not completed under NONE", r);
+            prop_assert_eq!(
+                rep.total().to_bits(),
+                healthy.samples[r].to_bits(),
+                "rep {}: faulty executor moved a bit under the zero-fault model",
+                r
+            );
+        }
+    }
 
     /// `run_spmd` never lets a process complete a sync before its own
     /// issued transfers' sender-side cost and its inbound data have
