@@ -30,6 +30,7 @@
 //! | `posted-table` | error | the §5.6.5 posted booleans match their definition |
 //! | `goal-unattainable` | error | the knowledge recurrence reaches the declared [`KnowledgeGoal`] |
 //! | `k-crash-coverage` | warning | the goal, restricted to survivors, outlives a pruned crash set ([`Analyzer::k_crash_coverage`]) |
+//! | `unrecoverable-crash-set` | error | the survivor re-plan synthesizer can repair the crash set ([`Analyzer::unrecoverable_crash_set`]) |
 //!
 //! The jitter-draw rule is statically decidable because drawing is part
 //! of the compiled-form contract, not of runtime control flow: the
@@ -104,6 +105,10 @@ pub enum Rule {
     /// After pruning a crashed rank set, the surviving ranks no longer
     /// attain the declared goal among themselves.
     KCrashCoverage,
+    /// No survivor re-plan can attain the goal after the crash set: the
+    /// repair synthesizer ([`hpm_core::recovery::repair_plan`]) returned
+    /// nothing, so the runtime recovery layer cannot help either.
+    UnrecoverableCrashSet,
 }
 
 impl Rule {
@@ -123,6 +128,7 @@ impl Rule {
             Rule::PostedTable => "posted-table",
             Rule::GoalUnattainable => "goal-unattainable",
             Rule::KCrashCoverage => "k-crash-coverage",
+            Rule::UnrecoverableCrashSet => "unrecoverable-crash-set",
         }
     }
 }
@@ -285,6 +291,45 @@ impl Analyzer {
             root_crashed,
             uninformed_pairs,
         }
+    }
+
+    /// Runs the survivor re-plan synthesizer
+    /// ([`hpm_core::recovery::repair_plan`]) against a crash set and
+    /// reports the sets *no* re-plan can fix. This is the actionable
+    /// promotion of [`Analyzer::k_crash_coverage`]: a warning there says
+    /// the deployed plan loses the goal, while a diagnostic here says the
+    /// runtime recovery layer cannot help either — today that means the
+    /// root of a rooted goal crashed, or no rank survived at all.
+    #[must_use]
+    pub fn unrecoverable_crash_set(
+        &mut self,
+        plan: &CompiledPattern,
+        goal: KnowledgeGoal,
+        crashed: &[usize],
+    ) -> Option<Diagnostic> {
+        if hpm_core::recovery::repair_plan(plan.p(), goal, crashed).is_some() {
+            return None;
+        }
+        let mut sorted: Vec<usize> = crashed.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let listed: Vec<usize> = sorted.iter().copied().take(MAX_LISTED).collect();
+        let why = if sorted.len() >= plan.p() {
+            "no rank survives"
+        } else {
+            "the goal cannot be restated over the survivors"
+        };
+        let message = format!(
+            "{goal:?} unrecoverable after crashing {}: {why}",
+            capped("ranks", sorted.len(), &listed)
+        );
+        Some(Diagnostic {
+            severity: Severity::Error,
+            stage: None,
+            ranks: listed,
+            rule: Rule::UnrecoverableCrashSet,
+            message,
+        })
     }
 }
 
@@ -1018,6 +1063,53 @@ mod tests {
         // the root still gathers from every survivor.
         let v = an.k_crash_coverage(&gather, KnowledgeGoal::RootGathers(0), &[2]);
         assert!(v.survives(), "{v:?}");
+    }
+
+    #[test]
+    fn unrecoverable_crash_set_promotes_only_hopeless_sets() {
+        let mut an = Analyzer::new();
+        let dis = CompiledPattern::from_stage_edges("dissem", 8, &dissemination_edges(8));
+        // Crashing a relay loses the goal *under the deployed plan* (a
+        // k-crash-coverage warning) but a survivor re-plan repairs it, so
+        // the promotion stays silent.
+        assert!(!an
+            .k_crash_coverage(&dis, KnowledgeGoal::AllToAll, &[1])
+            .survives());
+        assert!(an
+            .unrecoverable_crash_set(&dis, KnowledgeGoal::AllToAll, &[1])
+            .is_none());
+        // A crashed root is beyond repair: no survivor plan can gather to
+        // a dead rank.
+        let d = an
+            .unrecoverable_crash_set(&dis, KnowledgeGoal::RootGathers(3), &[3])
+            .expect("dead root is unrecoverable");
+        assert_eq!(d.rule, Rule::UnrecoverableCrashSet);
+        assert_eq!(d.rule.name(), "unrecoverable-crash-set");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.ranks, vec![3]);
+        assert!(d.message.contains("RootReaches") || d.message.contains("RootGathers"));
+        // ... unless the root survives.
+        assert!(an
+            .unrecoverable_crash_set(&dis, KnowledgeGoal::RootGathers(3), &[2, 5])
+            .is_none());
+        // Everything-crashed is unrecoverable for any goal.
+        let all: Vec<usize> = (0..8).collect();
+        let d = an
+            .unrecoverable_crash_set(&dis, KnowledgeGoal::AllToAll, &all)
+            .expect("no survivors");
+        assert!(d.message.contains("no rank survives"), "{}", d.message);
+        // Whenever the static verdict survives, the repair synthesizer must
+        // also succeed: recoverability is at least as strong.
+        for r in 0..8 {
+            if an
+                .k_crash_coverage(&dis, KnowledgeGoal::AllToAll, &[r])
+                .survives()
+            {
+                assert!(an
+                    .unrecoverable_crash_set(&dis, KnowledgeGoal::AllToAll, &[r])
+                    .is_none());
+            }
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! repro all --effort quick   # same, spelled out
 //! repro all --threads 8      # fan each sweep out over 8 workers
 //! repro all --json BENCH_repro.json   # machine-readable timing report
+//! repro faults recovery --check       # cross-check shared CSV corners
 //! ```
 //!
 //! Output CSV/text files land in `results/` (override with `--out DIR`).
@@ -31,6 +32,7 @@ fn main() {
     let mut effort = Effort::standard();
     let mut effort_name = "standard";
     let mut json_path: Option<PathBuf> = None;
+    let mut check = false;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -66,6 +68,9 @@ fn main() {
             }
             "--json" => {
                 json_path = Some(PathBuf::from(it.next().expect("--json needs a file path")));
+            }
+            "--check" => {
+                check = true;
             }
             "list" => {
                 for (id, desc, stochastic, p, _) in registry() {
@@ -116,7 +121,68 @@ fn main() {
         write_json(&path, effort_name, total, &timings);
         println!("wrote {}", path.display());
     }
+    if check {
+        run_check(&out_dir);
+    }
     println!("done: {} experiments in {total:.1}s", ids.len());
+}
+
+/// `--check`: the determinism cross-check between the faults and
+/// recovery artifacts. The recovery grid's `failfast` rows are computed
+/// by the same code path as `faults.csv`, so at the shared corner —
+/// every `failfast` row whose `(P, drop, straggler_prob,
+/// straggler_scale, crashes)` coordinates appear in `faults.csv` — the
+/// twelve shared cells must be *byte-identical*. A mismatch means one
+/// of the executors' streams moved; exit 1 so CI catches it.
+fn run_check(out_dir: &std::path::Path) {
+    let read = |name: &str| -> Vec<Vec<String>> {
+        let path = out_dir.join(name);
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("--check: cannot read {} ({e})", path.display());
+            std::process::exit(1);
+        });
+        text.lines()
+            .skip(1)
+            .map(|l| l.split(',').map(str::to_string).collect())
+            .collect()
+    };
+    let faults = read("faults.csv");
+    let recovery = read("recovery.csv");
+    let mut checked = 0usize;
+    for row in recovery.iter().filter(|r| r[5] == "failfast") {
+        // Project out the policy + recovery columns: coordinates
+        // (fields 0..5) then the shared measurement cells (6..13).
+        let projected: Vec<&String> = row[..5].iter().chain(&row[6..13]).collect();
+        let Some(base) = faults.iter().find(|f| f[..5] == row[..5]) else {
+            continue;
+        };
+        let base_ref: Vec<&String> = base.iter().collect();
+        if projected != base_ref {
+            eprintln!(
+                "--check: recovery.csv failfast row diverges from faults.csv at \
+                 (P, drop, straggler_prob, straggler_scale, crashes) = ({}, {}, {}, {}, {}):\n\
+                 faults:   {}\n  recovery: {}",
+                row[0],
+                row[1],
+                row[2],
+                row[3],
+                row[4],
+                base.join(","),
+                projected
+                    .iter()
+                    .map(|s| s.as_str())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            std::process::exit(1);
+        }
+        checked += 1;
+    }
+    if checked == 0 {
+        eprintln!("--check: no shared faults/recovery corner found (run both experiments first)");
+        std::process::exit(1);
+    }
+    println!("check: {checked} shared faults/recovery rows byte-identical");
 }
 
 /// `repro analyze`: the static half of the CI gate. Runs the
@@ -221,6 +287,6 @@ fn write_json(path: &PathBuf, effort: &str, total: f64, timings: &[Timing]) {
 fn usage() {
     eprintln!(
         "usage: repro [--out DIR] [--quick | --effort quick|standard] \
-         [--threads N] [--json FILE] (list | analyze | all | <id> ...)"
+         [--threads N] [--json FILE] [--check] (list | analyze | all | <id> ...)"
     );
 }

@@ -1193,6 +1193,318 @@ pub fn faults(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
     ]
 }
 
+/// Recovery: the fault grid re-run through the survivor re-planning
+/// layer, plus the deterministic registry crash-set sweep.
+///
+/// Section A (`recovery.csv`) repeats the [`faults`] grid under both
+/// recovery policies. `failfast` rows are computed *exactly* like
+/// [`faults`] — same model, reps, seed and cell formats — so the
+/// zero-crash corner is byte-identical to `faults.csv` (the `repro
+/// --check` invariant); `recover` rows run the same repetitions through
+/// [`BarrierSim::measure_recovering`] and report post-recovery
+/// completion, detection/consensus costs and the recovered-run
+/// inflation. Section B (`recovery_registry.csv`) forces every
+/// deterministic size-k crash set from [`crate::analyze::crash_sets`]
+/// (k ∈ {1, 2}) onto the sparse dissemination plan, records the static
+/// [`hpm_analyze::Analyzer::k_crash_coverage`] verdict next to what the
+/// recovery layer actually achieved, and prices each repair against the
+/// fault-free baseline.
+pub fn recovery(dir: &Path, effort: &Effort) -> Vec<PathBuf> {
+    use hpm_analyze::Analyzer;
+    use hpm_core::knowledge::KnowledgeGoal;
+    use hpm_simnet::barrier::BARRIER_JITTER_LABEL;
+    use hpm_simnet::recovery::{RecoveryReport, RecoveryScratch};
+    use hpm_simnet::{NetState, RankOutcome, SimScratch};
+    use hpm_stats::fault::{DropProb, FaultModel, FaultPlan};
+
+    let params = xeon_cluster_params();
+    let reps = effort.barrier_reps;
+
+    // ---- Section A: the faults() grid under both policies.
+    let drops = [0.0, 0.01, 0.05];
+    let stragglers = [(0.0, 0.0), (0.1, 1e-4)];
+    let crashes = [0usize, 1, 4];
+    let policies = ["failfast", "recover"];
+    let mut cases: Vec<(usize, f64, f64, f64, usize, &str)> = Vec::new();
+    for &p in &[64usize, 256] {
+        for &d in &drops {
+            for &(sp, ss) in &stragglers {
+                for &c in &crashes {
+                    for &pol in &policies {
+                        cases.push((p, d, sp, ss, c, pol));
+                    }
+                }
+            }
+        }
+    }
+    let grid_rows = par_points(&cases, |&(p, d, sp, ss, c, pol)| {
+        let shape = if p <= 64 {
+            cluster_8x2x4()
+        } else {
+            cluster_32x2x4()
+        };
+        let placement = Placement::new(shape, PlacementPolicy::RoundRobin, p);
+        let plan = dissemination_plan(p);
+        let sim = BarrierSim::new(&params, &placement);
+        let baseline = sim
+            .measure_compiled(&plan, &PayloadSchedule::none(), reps, SEED)
+            .mean();
+        let fault = FaultModel {
+            crash_count: c,
+            crash_window: 1e-4,
+            drop: DropProb::uniform(d),
+            straggler_prob: sp,
+            straggler_scale: ss,
+            straggler_alpha: 1.5,
+            timeout: 2e-4,
+            ..FaultModel::NONE
+        };
+        fault.validate();
+        let mut row = vec![
+            p.to_string(),
+            d.to_string(),
+            sp.to_string(),
+            ss.to_string(),
+            c.to_string(),
+            pol.to_string(),
+        ];
+        if pol == "failfast" {
+            // Bitwise the faults() computation: shared corner stays
+            // byte-identical to faults.csv.
+            let reports = sim.measure_faulty(&plan, &PayloadSchedule::none(), &fault, reps, SEED);
+            let n = reports.len() as f64;
+            let completion = reports
+                .iter()
+                .map(|r| r.completed_count() as f64 / p as f64)
+                .sum::<f64>()
+                / n;
+            let retries = reports.iter().map(|r| r.retries as f64).sum::<f64>() / n;
+            let lost: u64 = reports.iter().map(|r| r.lost_signals).sum();
+            let suppressed: u64 = reports.iter().map(|r| r.suppressed_signals).sum();
+            let mean_total = reports.iter().map(|r| r.total()).sum::<f64>() / n;
+            row.extend([
+                format!("{completion:.4}"),
+                format!("{retries:.2}"),
+                lost.to_string(),
+                suppressed.to_string(),
+                fmt(baseline),
+                fmt(mean_total),
+                format!("{:.4}", mean_total / baseline),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]);
+        } else {
+            let reports = sim.measure_recovering(
+                &plan,
+                &PayloadSchedule::none(),
+                KnowledgeGoal::AllToAll,
+                &fault,
+                reps,
+                SEED,
+            );
+            let n = reports.len() as f64;
+            let completion = reports
+                .iter()
+                .map(|r| {
+                    r.outcomes
+                        .iter()
+                        .filter(|o| matches!(o, RankOutcome::Completed(_)))
+                        .count() as f64
+                        / p as f64
+                })
+                .sum::<f64>()
+                / n;
+            let retries = reports
+                .iter()
+                .map(|r| r.attempt.retries as f64)
+                .sum::<f64>()
+                / n;
+            let lost: u64 = reports.iter().map(|r| r.attempt.lost_signals).sum();
+            let suppressed: u64 = reports.iter().map(|r| r.attempt.suppressed_signals).sum();
+            let mean_attempt = reports.iter().map(|r| r.attempt.total()).sum::<f64>() / n;
+            let mean_total = reports.iter().map(|r| r.total()).sum::<f64>() / n;
+            let recovered = reports.iter().filter(|r| r.recovered).count() as f64 / n;
+            let detection = reports.iter().map(|r| r.detection_time).sum::<f64>() / n;
+            let consensus = reports.iter().map(|r| r.consensus_cost).sum::<f64>() / n;
+            row.extend([
+                format!("{completion:.4}"),
+                format!("{retries:.2}"),
+                lost.to_string(),
+                suppressed.to_string(),
+                fmt(baseline),
+                fmt(mean_attempt),
+                format!("{:.4}", mean_attempt / baseline),
+                format!("{recovered:.4}"),
+                fmt(detection),
+                fmt(consensus),
+                format!("{:.4}", mean_total / baseline),
+            ]);
+        }
+        row
+    });
+    let mut grid = CsvTable::new(&[
+        "P",
+        "drop",
+        "straggler_prob",
+        "straggler_scale",
+        "crashes",
+        "policy",
+        "completion_rate",
+        "mean_retries",
+        "lost_signals",
+        "suppressed_signals",
+        "fault_free_s",
+        "faulty_s",
+        "inflation",
+        "recovered_rate",
+        "detection_s",
+        "consensus_s",
+        "recovered_inflation",
+    ]);
+    for row in &grid_rows {
+        grid.push(row.clone());
+    }
+
+    // ---- Section B: forced registry crash sets through the recovery
+    // layer, one deterministic run each (rep 0).
+    let set_stride = effort.stride_small.max(1);
+    let mut sweep: Vec<(usize, usize, usize, Vec<usize>)> = Vec::new();
+    for &p in &[64usize, 256] {
+        for k in [1usize, 2] {
+            for (i, set) in crate::analyze::crash_sets(p, k)
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| i % set_stride == 0)
+            {
+                sweep.push((p, k, i, set));
+            }
+        }
+    }
+    let sweep_rows = par_points(&sweep, |(p, k, i, set)| {
+        let p = *p;
+        let shape = if p <= 64 {
+            cluster_8x2x4()
+        } else {
+            cluster_32x2x4()
+        };
+        let placement = Placement::new(shape, PlacementPolicy::RoundRobin, p);
+        let plan = dissemination_plan(p);
+        let sim = BarrierSim::new(&params, &placement);
+        let baseline = sim
+            .measure_compiled(&plan, &PayloadSchedule::none(), 1, SEED)
+            .mean();
+        let statically_survives = Analyzer::new()
+            .k_crash_coverage(&plan, KnowledgeGoal::AllToAll, set)
+            .survives();
+        let fault = FaultModel {
+            timeout: 2e-4,
+            ..FaultModel::NONE
+        };
+        let fplan = FaultPlan::with_crashes(p, placement.shape().nodes(), set);
+        let zeros = vec![0.0; p];
+        let mut scratch = SimScratch::new(&placement);
+        let mut net = NetState::new(&placement);
+        let mut rs = RecoveryScratch::new();
+        let mut report = RecoveryReport::new(p);
+        sim.run_once_recovering_with(
+            &plan,
+            &PayloadSchedule::none(),
+            KnowledgeGoal::AllToAll,
+            &fault,
+            &fplan,
+            &zeros,
+            &mut net,
+            SEED,
+            BARRIER_JITTER_LABEL,
+            0,
+            &mut scratch,
+            &mut rs,
+            &mut report,
+        );
+        let crashed: Vec<String> = set.iter().map(|r| r.to_string()).collect();
+        vec![
+            format!("dissemination-sparse-p{p}"),
+            p.to_string(),
+            k.to_string(),
+            i.to_string(),
+            crashed.join("+"),
+            u8::from(statically_survives).to_string(),
+            u8::from(report.replanned).to_string(),
+            u8::from(report.recovered).to_string(),
+            fmt(report.attempt.total()),
+            fmt(report.detection_time),
+            fmt(report.consensus_cost),
+            fmt(report.total()),
+            fmt(baseline),
+            format!("{:.4}", report.total() / baseline),
+        ]
+    });
+    let mut sweep_t = CsvTable::new(&[
+        "pattern",
+        "P",
+        "k",
+        "set",
+        "crashed",
+        "static_survives",
+        "replanned",
+        "recovered",
+        "attempt_s",
+        "detection_s",
+        "consensus_s",
+        "recovered_s",
+        "fault_free_s",
+        "inflation",
+    ]);
+    for row in &sweep_rows {
+        sweep_t.push(row.clone());
+    }
+
+    let mut json = String::from("{\n  \"experiment\": \"recovery\",\n  \"grid\": [\n");
+    for (k, row) in grid_rows.iter().enumerate() {
+        let comma = if k + 1 < grid_rows.len() { "," } else { "" };
+        let quote = |s: &str| {
+            if s.is_empty() {
+                "null".to_string()
+            } else {
+                s.to_string()
+            }
+        };
+        json.push_str(&format!(
+            "    {{\"p\": {}, \"drop\": {}, \"straggler_prob\": {}, \"straggler_scale\": {}, \
+             \"crashes\": {}, \"policy\": \"{}\", \"completion_rate\": {}, \"inflation\": {}, \
+             \"recovered_rate\": {}, \"recovered_inflation\": {}}}{comma}\n",
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4],
+            row[5],
+            row[6],
+            row[12],
+            quote(&row[13]),
+            quote(&row[16]),
+        ));
+    }
+    json.push_str("  ],\n  \"registry\": [\n");
+    for (k, row) in sweep_rows.iter().enumerate() {
+        let comma = if k + 1 < sweep_rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"pattern\": \"{}\", \"p\": {}, \"k\": {}, \"crashed\": \"{}\", \
+             \"static_survives\": {}, \"replanned\": {}, \"recovered\": {}, \
+             \"inflation\": {}}}{comma}\n",
+            row[0], row[1], row[2], row[4], row[5], row[6], row[7], row[13],
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    vec![
+        write_csv(dir, "recovery", &grid),
+        write_csv(dir, "recovery_registry", &sweep_t),
+        write_file(dir, "BENCH_recovery.json", &json),
+    ]
+}
+
 // ---------------------------------------------------------------- driver
 
 type ExperimentFn = fn(&Path, &Effort) -> Vec<PathBuf>;
@@ -1424,6 +1736,13 @@ pub fn registry() -> Vec<(
             "batched",
             256,
             faults,
+        ),
+        (
+            "recovery",
+            "survivor re-planning: recovery policies and repair costs",
+            "batched",
+            256,
+            recovery,
         ),
     ]
 }

@@ -102,6 +102,44 @@ impl SyncPattern {
     }
 }
 
+/// What the runtime does when a fault-injected sync fails on some
+/// processes (ULFM-style error handling for the simulated machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Abort the run with [`BspError::SyncFailed`] — the pre-recovery
+    /// behavior, and the default.
+    #[default]
+    FailFast,
+    /// Shrink the process set to the sync's survivors, remap their pids
+    /// to `0..n_survivors` (rank order preserved), rebuild the sync for
+    /// the smaller machine, and resume the superstep loop from the
+    /// post-consensus instant. What happened is surfaced on
+    /// [`BspRunResult::recoveries`] instead of an error.
+    ShrinkAndContinue,
+}
+
+/// One shrink event on a [`BspRunResult`]: which sync failed, who was
+/// evicted, and what the survivors paid to agree on it. Pids are in the
+/// numbering that was current *at that superstep* (earlier shrinks have
+/// already renumbered).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryEvent {
+    /// Superstep whose sync failed.
+    pub superstep: usize,
+    /// Processes evicted (crashed or timed out), in rank order.
+    pub failed: Vec<usize>,
+    /// Processes that continue, in rank order; survivor `survivors[i]`
+    /// becomes pid `i` from the next superstep on.
+    pub survivors: Vec<usize>,
+    /// When the survivors had detected the failure: last survivor exit
+    /// from the failed sync plus one retry-timeout budget.
+    pub detection_time: f64,
+    /// Modeled agreement-round cost the survivors paid on top.
+    pub consensus_cost: f64,
+    /// Process count after the shrink.
+    pub nprocs_after: usize,
+}
+
 /// Runtime configuration.
 #[derive(Debug, Clone)]
 pub struct BspConfig {
@@ -116,6 +154,9 @@ pub struct BspConfig {
     /// Fault model injected into every sync; [`FaultModel::NONE`] (the
     /// default) keeps the run bit-identical to the fault-free runtime.
     pub fault: FaultModel,
+    /// What a failed sync does to the run; [`RecoveryPolicy::FailFast`]
+    /// (the default) preserves the pre-recovery abort behavior.
+    pub recovery: RecoveryPolicy,
 }
 
 impl BspConfig {
@@ -134,6 +175,7 @@ impl BspConfig {
             max_supersteps: 100_000,
             sync: SyncPattern::default(),
             fault: FaultModel::NONE,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -152,6 +194,11 @@ pub enum BspError {
     MixedHalt { superstep: usize },
     /// The `max_supersteps` guard tripped.
     SuperstepLimit,
+    /// The configured [`FaultModel`] failed [`FaultModel::checked`]; the
+    /// message names the offending knob. Returned before the first
+    /// superstep, so a bad user-supplied model cannot silently misbehave
+    /// mid-run.
+    InvalidFaultModel(String),
     /// A fault-injected sync could not complete on every process: some
     /// crashed or timed out waiting for signals that never arrived. The
     /// run stops at that superstep; `survivors` lists the processes that
@@ -180,6 +227,7 @@ impl std::fmt::Display for BspError {
                 "superstep {superstep}: some processes halted while others continued (bsp_end must be collective)"
             ),
             BspError::SuperstepLimit => write!(f, "superstep limit exceeded"),
+            BspError::InvalidFaultModel(msg) => write!(f, "invalid fault model: {msg}"),
             BspError::SyncFailed {
                 superstep,
                 failed,
@@ -244,8 +292,13 @@ pub struct BspRunResult<P> {
     pub programs: Vec<P>,
     /// Total virtual time (latest completion of the final sync).
     pub total_time: f64,
-    /// Per-superstep traces.
+    /// Per-superstep traces. A trace recorded before a shrink spans the
+    /// process count that was current then.
     pub supersteps: Vec<SuperstepTrace>,
+    /// Shrink events under [`RecoveryPolicy::ShrinkAndContinue`], in
+    /// superstep order; empty on a clean run and always empty under
+    /// [`RecoveryPolicy::FailFast`].
+    pub recoveries: Vec<RecoveryEvent>,
 }
 
 impl<P> BspRunResult<P> {
@@ -270,24 +323,39 @@ impl<P> BspRunResult<P> {
 }
 
 /// Runs an SPMD program built by `make(pid)` on the configured platform.
+///
+/// Returns [`BspError::InvalidFaultModel`] before the first superstep
+/// when `cfg.fault` fails [`FaultModel::checked`]. Under
+/// [`RecoveryPolicy::ShrinkAndContinue`] a failed sync evicts the
+/// failed processes and the loop resumes over the renumbered survivors
+/// (the halting superstep is re-executed by the survivors if the final
+/// sync itself failed); each shrink is recorded on
+/// [`BspRunResult::recoveries`].
 pub fn run_spmd<P: BspProgram>(
     cfg: &BspConfig,
     mut make: impl FnMut(usize) -> P,
 ) -> Result<BspRunResult<P>, BspError> {
-    let p = cfg.placement.nprocs();
+    if let Err(e) = cfg.fault.checked() {
+        return Err(BspError::InvalidFaultModel(e.to_string()));
+    }
+    let mut p = cfg.placement.nprocs();
     let mut programs: Vec<P> = (0..p).map(&mut make).collect();
     let mut mems: Vec<ProcMem> = (0..p).map(|_| ProcMem::default()).collect();
     let mut clocks = vec![0.0f64; p];
     let mut rng = derive_rng(cfg.seed, 0xB5F);
-    let mut net = NetState::new(&cfg.placement);
-    // The sync pattern is fixed for the whole run: compile it once into
-    // CSR form and drive every superstep's barrier over reused scratch.
-    let (barrier_pattern, payload) = cfg.sync.build(p);
-    let compiled_sync = barrier_pattern.as_ref().map(|pat| {
+    // The sync pattern is compiled once into CSR form and every
+    // superstep's barrier runs over reused scratch. A shrink rebuilds
+    // everything sized or shaped by the process count: the placement,
+    // the network, the compiled sync and its scratch.
+    let build_sync = |n: usize| {
         use hpm_core::pattern::CommPattern;
-        pat.plan()
-    });
-    let mut sync_scratch = SimScratch::new(&cfg.placement);
+        let (pat, payload) = cfg.sync.build(n);
+        (pat.as_ref().map(|pat| pat.plan()), payload)
+    };
+    let mut placement = cfg.placement.clone();
+    let mut net = NetState::new(&placement);
+    let (mut compiled_sync, mut payload) = build_sync(p);
+    let mut sync_scratch = SimScratch::new(&placement);
     let mut ex_scratch = ExchangeScratch::default();
     // Background transfers run on the batched jitter engine: one table
     // per resolution pass, filled to the message list's exact draw count
@@ -297,10 +365,11 @@ pub fn run_spmd<P: BspProgram>(
     let mut ex_jitter = JitterBuf::new();
     let mut r1 = ExchangeResult::default();
     let mut r2 = ExchangeResult::default();
-    let sim = BarrierSim::new(&cfg.params, &cfg.placement);
     let mut supersteps = Vec::new();
+    let mut recoveries: Vec<RecoveryEvent> = Vec::new();
 
     for step in 0..cfg.max_supersteps {
+        let sim = BarrierSim::new(&cfg.params, &placement);
         // Phase 1: run program code, collect ops.
         let mut all_ops: Vec<Vec<CommOp>> = Vec::with_capacity(p);
         let mut compute_end = vec![0.0f64; p];
@@ -425,8 +494,11 @@ pub fn run_spmd<P: BspProgram>(
 
         // Phase 3: synchronize. Under a fault model the sync runs on the
         // faulty executor (same stream label and rep, so a zero-fault
-        // model reproduces the healthy path bit-for-bit); a sync that not
-        // every process completes aborts the run with the survivor set.
+        // model reproduces the healthy path bit-for-bit). A sync that
+        // not every process completes aborts the run with the survivor
+        // set under `FailFast`, or triggers a shrink below under
+        // `ShrinkAndContinue`.
+        let mut sync_failure: Option<hpm_simnet::faults::FaultReport> = None;
         let barrier_exit = match &compiled_sync {
             Some(plan) if !cfg.fault.is_none() => {
                 let report = sim.run_once_faulty(
@@ -441,11 +513,14 @@ pub fn run_spmd<P: BspProgram>(
                     &mut sync_scratch,
                 );
                 if !report.all_completed() {
-                    return Err(BspError::SyncFailed {
-                        superstep: step,
-                        failed: report.failed(),
-                        survivors: report.survivors(),
-                    });
+                    if cfg.recovery == RecoveryPolicy::FailFast {
+                        return Err(BspError::SyncFailed {
+                            superstep: step,
+                            failed: report.failed(),
+                            survivors: report.survivors(),
+                        });
+                    }
+                    sync_failure = Some(report);
                 }
                 sync_scratch.exits().to_vec()
             }
@@ -481,6 +556,17 @@ pub fn run_spmd<P: BspProgram>(
             .collect();
 
         // Phase 4: memory effects in BSPlib order.
+        // After a failed sync under ShrinkAndContinue, only effects
+        // whose source and destination both survive commit — data to or
+        // from an evicted process died with it.
+        let survives: Vec<bool> = match &sync_failure {
+            Some(report) => report
+                .outcomes
+                .iter()
+                .map(|o| matches!(o, hpm_simnet::faults::RankOutcome::Completed(_)))
+                .collect(),
+            None => vec![true; p],
+        };
         // Gets read the state at the end of computation, before puts.
         let mut get_results: Vec<(usize, &CommOp, Vec<u8>)> = Vec::new();
         for &(pid, op) in &flat_ops {
@@ -492,11 +578,14 @@ pub fn run_spmd<P: BspProgram>(
                 ..
             } = op
             {
+                if !(survives[pid] && survives[*src]) {
+                    continue;
+                }
                 let data = mems[*src].read(*src_reg)[*src_offset..*src_offset + *len].to_vec();
                 get_results.push((pid, op, data));
             }
         }
-        for &(_, op) in &flat_ops {
+        for &(pid, op) in &flat_ops {
             if let CommOp::Put {
                 dst,
                 reg,
@@ -505,6 +594,9 @@ pub fn run_spmd<P: BspProgram>(
                 ..
             } = op
             {
+                if !(survives[pid] && survives[*dst]) {
+                    continue;
+                }
                 mems[*dst].write(*reg)[*offset..*offset + data.len()].copy_from_slice(data);
             }
         }
@@ -519,11 +611,14 @@ pub fn run_spmd<P: BspProgram>(
                 mems[pid].write(*dst_reg)[*dst_offset..*dst_offset + *len].copy_from_slice(&data);
             }
         }
-        for &(_, op) in &flat_ops {
+        for &(pid, op) in &flat_ops {
             if let CommOp::Send {
                 dst, tag, payload, ..
             } = op
             {
+                if !(survives[pid] && survives[*dst]) {
+                    continue;
+                }
                 mems[*dst].arriving.push(BsmpMsg {
                     tag: tag.clone(),
                     payload: payload.clone(),
@@ -545,12 +640,59 @@ pub fn run_spmd<P: BspProgram>(
         });
         clocks = completion;
 
+        if let Some(report) = sync_failure {
+            // ShrinkAndContinue: evict the failed processes, renumber
+            // the survivors to 0..n in rank order, rebuild everything
+            // shaped by the process count, and resume from the
+            // post-detection/consensus instant.
+            let survivor_ranks = report.survivors();
+            let failed = report.failed();
+            if survivor_ranks.is_empty() {
+                return Err(BspError::SyncFailed {
+                    superstep: step,
+                    failed,
+                    survivors: survivor_ranks,
+                });
+            }
+            let detection_time = report.total() + cfg.fault.timeout;
+            let consensus = hpm_simnet::recovery::consensus_cost(&cfg.params, survivor_ranks.len());
+            let t0 = detection_time + consensus;
+            let mut keep = survives.iter();
+            programs.retain(|_| *keep.next().expect("mask spans programs"));
+            let mut keep = survives.iter();
+            mems.retain(|_| *keep.next().expect("mask spans mems"));
+            let mut keep = survives.iter();
+            clocks.retain(|_| *keep.next().expect("mask spans clocks"));
+            // Survivors resume no earlier than the agreement instant;
+            // a transfer tail that outlived it keeps its later clock.
+            for c in clocks.iter_mut() {
+                *c = c.max(t0);
+            }
+            p = survivor_ranks.len();
+            recoveries.push(RecoveryEvent {
+                superstep: step,
+                failed,
+                survivors: survivor_ranks,
+                detection_time,
+                consensus_cost: consensus,
+                nprocs_after: p,
+            });
+            placement = Placement::new(placement.shape(), placement.policy(), p);
+            net = NetState::new(&placement);
+            let (cs, pl) = build_sync(p);
+            compiled_sync = cs;
+            payload = pl;
+            sync_scratch = SimScratch::new(&placement);
+            continue;
+        }
+
         if halts == p {
             let total_time = clocks.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             return Ok(BspRunResult {
                 programs,
                 total_time,
                 supersteps,
+                recoveries,
             });
         }
     }
@@ -1097,6 +1239,89 @@ mod tests {
                 assert_eq!(all, (0..8).collect::<Vec<_>>(), "partition of ranks");
             }
             other => panic!("expected SyncFailed, got {other:?}"),
+        }
+    }
+
+    /// A configuration that fails fast on its first lossy sync completes
+    /// under `ShrinkAndContinue`: each failed sync evicts the processes
+    /// that gave up, the survivors renumber and resume, and the shrink
+    /// trail lands on the result. (Transient losses — a retry-less drop
+    /// model — rather than crashes, so later syncs over the survivors
+    /// can succeed and the run can finish.)
+    #[test]
+    fn shrink_and_continue_survives_what_failfast_aborts() {
+        use hpm_stats::fault::DropProb;
+        let mut cfg = config(8);
+        cfg.seed = 0;
+        cfg.fault = FaultModel {
+            drop: DropProb::uniform(0.02),
+            max_retries: 0,
+            timeout: 2e-5,
+            ..FaultModel::NONE
+        };
+        let make = |_| RotatePut {
+            step: 0,
+            buf: None,
+            seen: Vec::new(),
+        };
+        assert!(matches!(
+            run_spmd(&cfg, make).expect_err("fail-fast aborts"),
+            BspError::SyncFailed { .. }
+        ));
+        cfg.recovery = RecoveryPolicy::ShrinkAndContinue;
+        let res = run_spmd(&cfg, make).expect("survivors complete the run");
+        assert!(!res.recoveries.is_empty(), "shrinks must be recorded");
+        let mut nprocs = 8;
+        for ev in &res.recoveries {
+            assert!(!ev.failed.is_empty() && !ev.survivors.is_empty());
+            assert_eq!(ev.failed.len() + ev.survivors.len(), nprocs);
+            assert_eq!(ev.nprocs_after, ev.survivors.len());
+            assert!(ev.detection_time > 0.0, "detection pays the timeout");
+            assert!(
+                ev.nprocs_after == 1 || ev.consensus_cost > 0.0,
+                "agreement among >1 survivors costs time"
+            );
+            nprocs = ev.nprocs_after;
+        }
+        assert_eq!(res.programs.len(), nprocs, "result spans the survivors");
+        assert!(res.total_time > res.recoveries[0].detection_time);
+    }
+
+    /// With no faults configured, the recovery policy is inert: both
+    /// policies produce bitwise identical runs and no recovery events.
+    #[test]
+    fn zero_fault_policies_are_bitwise_identical() {
+        let make = |_| RotatePut {
+            step: 0,
+            buf: None,
+            seen: Vec::new(),
+        };
+        let cfg = config(8);
+        let fail_fast = run_spmd(&cfg, make).expect("clean run");
+        let mut cfg2 = config(8);
+        cfg2.recovery = RecoveryPolicy::ShrinkAndContinue;
+        let shrink = run_spmd(&cfg2, make).expect("clean run");
+        assert_eq!(fail_fast.total_time.to_bits(), shrink.total_time.to_bits());
+        assert!(fail_fast.recoveries.is_empty() && shrink.recoveries.is_empty());
+    }
+
+    /// A bad fault model is rejected at entry with a structured error
+    /// naming the knob, before any superstep runs.
+    #[test]
+    fn invalid_fault_model_is_rejected_at_entry() {
+        let mut cfg = config(4);
+        cfg.fault.backoff = 0.5;
+        let err = run_spmd(&cfg, |_| RotatePut {
+            step: 0,
+            buf: None,
+            seen: Vec::new(),
+        })
+        .expect_err("bad model must be rejected");
+        match err {
+            BspError::InvalidFaultModel(msg) => {
+                assert!(msg.contains("backoff"), "names the knob: {msg}")
+            }
+            other => panic!("expected InvalidFaultModel, got {other:?}"),
         }
     }
 

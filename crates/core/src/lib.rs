@@ -35,6 +35,10 @@
 //!   extension.
 //! * [`superstep`] — the fundamental equation of modeling (Eq. 1.1/1.4)
 //!   and the overlap estimate (Eqs. 3.15–3.16).
+//! * [`recovery`] — survivor re-planning after crashes:
+//!   [`plan::CompiledPattern::restrict_to_survivors`] prunes and
+//!   compacts, [`recovery::repair_plan`] synthesizes a fresh verified
+//!   pattern over the survivors when pruning severed the knowledge flow.
 
 pub mod classic;
 pub mod compute;
@@ -44,6 +48,7 @@ pub mod matrix;
 pub mod pattern;
 pub mod plan;
 pub mod predictor;
+pub mod recovery;
 pub mod superstep;
 
 pub use classic::ClassicBsp;
@@ -60,4 +65,5 @@ pub use predictor::{
     predict_barrier, predict_compiled, predict_compiled_with, BarrierPrediction, CommCosts,
     CostModel, PayloadSchedule,
 };
+pub use recovery::{remap_goal, repair_plan};
 pub use superstep::{overlap_estimate, SuperstepModel};

@@ -434,6 +434,68 @@ impl CompiledPattern {
         let s = self.last_send[row * self.p + i];
         (s != usize::MAX).then_some(s)
     }
+
+    /// The survivor-compacted repair of this plan after the ranks in
+    /// `crashed` failed: every edge incident to a crashed rank is
+    /// dropped, the survivors are renumbered `0..p'` in ascending
+    /// original-rank order, stages whose edge list empties out vanish
+    /// entirely (an empty stage is a structural error in the analyzer's
+    /// rule set — and a stage the executor would pay entry overhead for
+    /// without communicating), and the result is rebuilt through the
+    /// honest [`CompiledPattern::from_stage_edges`] route so the
+    /// posted/last-send tables and the `jitter_draws` count are
+    /// re-derived for the compacted shape. The static audit therefore
+    /// holds on the repaired plan exactly as it does on a freshly
+    /// authored one.
+    ///
+    /// Note the contrast with the analyzer's k-crash coverage check,
+    /// which keeps the original `p` and merely isolates crashed ranks:
+    /// this method produces the plan survivors would actually *execute*,
+    /// so the rank space is compacted. Whether the compacted plan still
+    /// attains its knowledge goal is a separate question — see
+    /// [`crate::recovery::repair_plan`] for the re-planning fallback.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a crashed rank is out of range or when no rank
+    /// survives (an empty machine has no plan).
+    #[must_use]
+    pub fn restrict_to_survivors(&self, crashed: &[usize]) -> CompiledPattern {
+        let p = self.p;
+        let mut dead = vec![false; p];
+        for &r in crashed {
+            assert!(r < p, "crashed rank {r} out of range for p={p}");
+            dead[r] = true;
+        }
+        let mut remap = vec![usize::MAX; p];
+        let mut np = 0usize;
+        for (i, &d) in dead.iter().enumerate() {
+            if !d {
+                remap[i] = np;
+                np += 1;
+            }
+        }
+        assert!(np > 0, "restrict_to_survivors: every rank crashed");
+        let mut stage_edges: Vec<Vec<(usize, usize)>> = Vec::with_capacity(self.stages.len());
+        for stage in &self.stages {
+            let mut edges = Vec::with_capacity(stage.edge_count());
+            for i in 0..p {
+                if dead[i] {
+                    continue;
+                }
+                for &j in stage.dsts(i) {
+                    if !dead[j] {
+                        edges.push((remap[i], remap[j]));
+                    }
+                }
+            }
+            if !edges.is_empty() {
+                stage_edges.push(edges);
+            }
+        }
+        let name = format!("{}-survivors", self.name);
+        CompiledPattern::from_stage_edges(&name, np, &stage_edges)
+    }
 }
 
 #[cfg(test)]
@@ -579,6 +641,81 @@ mod tests {
     #[should_panic(expected = "self-send edge (2,2)")]
     fn sparse_authoring_rejects_self_sends() {
         StagePlan::from_edges(4, &[(0, 1), (2, 2)]);
+    }
+
+    /// Survivor compaction drops exactly the edges incident to crashed
+    /// ranks, renumbers the rest order-preservingly, and re-derives the
+    /// tables: the restriction of dissemination(8) after rank 3 crashes
+    /// equals the plan compiled directly from the translated edges.
+    #[test]
+    fn restrict_to_survivors_compacts_and_rederives() {
+        let plan = CompiledPattern::compile(&dissemination(8));
+        let pruned = plan.restrict_to_survivors(&[3]);
+        assert_eq!(pruned.p(), 7);
+        assert_eq!(pruned.name(), "dissemination-survivors");
+        // Build the expected plan by hand: remap is identity below 3,
+        // minus one above.
+        let remap = |r: usize| if r < 3 { r } else { r - 1 };
+        let mut want_edges: Vec<Vec<(usize, usize)>> = Vec::new();
+        for s in 0..plan.stages() {
+            let mut edges = Vec::new();
+            for i in 0..8 {
+                if i == 3 {
+                    continue;
+                }
+                for &j in plan.stage(s).dsts(i) {
+                    if j != 3 {
+                        edges.push((remap(i), remap(j)));
+                    }
+                }
+            }
+            want_edges.push(edges);
+        }
+        let want = CompiledPattern::from_stage_edges("dissemination-survivors", 7, &want_edges);
+        assert_eq!(pruned, want);
+        // The re-derived draw count reflects the compacted shape.
+        let edges: usize = (0..pruned.stages())
+            .map(|s| pruned.stage(s).edge_count())
+            .sum();
+        assert_eq!(
+            pruned.jitter_draws(),
+            pruned.stages() * 7 * ENTRY_JITTER_DRAWS + edges * SIGNAL_JITTER_DRAWS
+        );
+    }
+
+    /// Stages that lose every edge disappear instead of surviving as
+    /// empty stages the executor would pay entry overhead for.
+    #[test]
+    fn restrict_to_survivors_drops_emptied_stages() {
+        // Stage 0 only connects ranks 1 and 2; stage 1 connects 0 and 3.
+        let edges = vec![vec![(1, 2), (2, 1)], vec![(0, 3), (3, 0)]];
+        let plan = CompiledPattern::from_stage_edges("two", 4, &edges);
+        let pruned = plan.restrict_to_survivors(&[1]);
+        assert_eq!(pruned.p(), 3);
+        assert_eq!(pruned.stages(), 1, "stage 0 must vanish entirely");
+        assert_eq!(pruned.stage(0).dsts(0), &[2]);
+        assert_eq!(pruned.stage(0).dsts(2), &[0]);
+    }
+
+    /// A crash set that severs everything leaves a legal zero-stage plan
+    /// over the survivors; crashing every rank panics.
+    #[test]
+    fn restrict_to_survivors_degenerate_cases() {
+        let plan = CompiledPattern::compile(&dissemination(4));
+        let lonely = plan.restrict_to_survivors(&[0, 1, 2]);
+        assert_eq!(lonely.p(), 1);
+        assert_eq!(lonely.stages(), 0);
+        assert_eq!(lonely.jitter_draws(), 0);
+        // Unordered, duplicated crash lists are tolerated.
+        let dup = plan.restrict_to_survivors(&[2, 0, 2]);
+        assert_eq!(dup.p(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "every rank crashed")]
+    fn restrict_to_survivors_rejects_total_loss() {
+        let plan = CompiledPattern::compile(&dissemination(2));
+        let _ = plan.restrict_to_survivors(&[0, 1]);
     }
 
     #[test]

@@ -56,7 +56,10 @@ pub struct FaultReport {
 }
 
 impl FaultReport {
-    fn new(p: usize) -> FaultReport {
+    /// A fresh all-completed-at-zero report for `p` ranks, ready to be
+    /// filled by [`BarrierSim::run_once_faulty_into`].
+    #[must_use]
+    pub fn new(p: usize) -> FaultReport {
         FaultReport {
             outcomes: vec![RankOutcome::Completed(0.0); p],
             retries: 0,
@@ -64,6 +67,18 @@ impl FaultReport {
             lost_signals: 0,
             suppressed_signals: 0,
         }
+    }
+
+    /// Resets to the all-completed-at-zero state for `p` ranks without
+    /// shrinking capacity, so reports reused across repetitions stay
+    /// allocation-free.
+    pub fn reset(&mut self, p: usize) {
+        self.outcomes.clear();
+        self.outcomes.resize(p, RankOutcome::Completed(0.0));
+        self.retries = 0;
+        self.retry_delay = 0.0;
+        self.lost_signals = 0;
+        self.suppressed_signals = 0;
     }
 
     /// Ranks that completed cleanly.
@@ -90,18 +105,81 @@ impl FaultReport {
             })
     }
 
+    /// Ranks that completed cleanly, in rank order, without allocating.
+    pub fn survivors_iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| matches!(o, RankOutcome::Completed(_)))
+            .map(|(r, _)| r)
+    }
+
+    /// Ranks that crashed or timed out, in rank order, without
+    /// allocating.
+    pub fn failed_iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| !matches!(o, RankOutcome::Completed(_)))
+            .map(|(r, _)| r)
+    }
+
+    /// Fills `out` with the surviving ranks, reusing its capacity.
+    pub fn survivors_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.survivors_iter());
+    }
+
+    /// Fills `out` with the failed ranks, reusing its capacity.
+    pub fn failed_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.failed_iter());
+    }
+
     /// Ranks that completed cleanly, in rank order.
     pub fn survivors(&self) -> Vec<usize> {
-        (0..self.outcomes.len())
-            .filter(|&r| matches!(self.outcomes[r], RankOutcome::Completed(_)))
-            .collect()
+        self.survivors_iter().collect()
     }
 
     /// Ranks that crashed or timed out, in rank order.
     pub fn failed(&self) -> Vec<usize> {
-        (0..self.outcomes.len())
-            .filter(|&r| !matches!(self.outcomes[r], RankOutcome::Completed(_)))
-            .collect()
+        self.failed_iter().collect()
+    }
+}
+
+/// Reusable per-worker state for the faulty executor: the realized
+/// fault plan plus the timeout/arrival bookkeeping that
+/// [`BarrierSim::run_once_faulty`] used to allocate per call. Buffers
+/// grow to the largest plan seen and are then reused, so repetition
+/// loops over a fixed shape are allocation-free.
+#[derive(Debug)]
+pub struct FaultScratch {
+    pub(crate) fplan: FaultPlan,
+    timed_out: Vec<bool>,
+    arrived: Vec<usize>,
+}
+
+impl Default for FaultScratch {
+    fn default() -> FaultScratch {
+        FaultScratch::new()
+    }
+}
+
+impl FaultScratch {
+    /// An empty scratch; buffers size themselves on first use.
+    #[must_use]
+    pub fn new() -> FaultScratch {
+        FaultScratch {
+            fplan: FaultPlan::neutral(0, 0),
+            timed_out: Vec::new(),
+            arrived: Vec::new(),
+        }
+    }
+
+    /// The fault plan realized by the most recent faulty run.
+    #[must_use]
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fplan
     }
 }
 
@@ -136,11 +214,106 @@ impl BarrierSim<'_> {
         rep: u64,
         scratch: &mut SimScratch,
     ) -> FaultReport {
+        let mut fs = FaultScratch::new();
+        let mut report = FaultReport::new(plan.p());
+        self.run_once_faulty_into(
+            plan,
+            payload,
+            fault,
+            entry,
+            net,
+            seed,
+            label,
+            rep,
+            scratch,
+            &mut fs,
+            &mut report,
+        );
+        report
+    }
+
+    /// Allocation-free twin of [`BarrierSim::run_once_faulty`]: the
+    /// realized fault plan and the timeout/arrival bookkeeping live in
+    /// `fs`, the outcomes in `report` — all reused across calls.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_once_faulty_into(
+        &self,
+        plan: &CompiledPattern,
+        payload: &PayloadSchedule,
+        fault: &FaultModel,
+        entry: &[f64],
+        net: &mut NetState,
+        seed: u64,
+        label: u64,
+        rep: u64,
+        scratch: &mut SimScratch,
+        fs: &mut FaultScratch,
+        report: &mut FaultReport,
+    ) {
+        let nodes = self.placement.shape().nodes();
+        let FaultScratch {
+            fplan,
+            timed_out,
+            arrived,
+        } = fs;
+        fplan.realize_into(fault, plan.p(), nodes, seed, rep);
+        self.faulty_core(
+            plan, payload, fault, fplan, entry, net, seed, label, rep, scratch, timed_out, arrived,
+            report,
+        );
+    }
+
+    /// Faulty run under a caller-supplied [`FaultPlan`] (e.g.
+    /// [`FaultPlan::with_crashes`] for a deterministic crash-set sweep)
+    /// instead of one realized from the fault stream. The drop and
+    /// jitter streams are consumed exactly as in
+    /// [`BarrierSim::run_once_faulty`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_once_faulty_with(
+        &self,
+        plan: &CompiledPattern,
+        payload: &PayloadSchedule,
+        fault: &FaultModel,
+        fplan: &FaultPlan,
+        entry: &[f64],
+        net: &mut NetState,
+        seed: u64,
+        label: u64,
+        rep: u64,
+        scratch: &mut SimScratch,
+        fs: &mut FaultScratch,
+        report: &mut FaultReport,
+    ) {
+        let FaultScratch {
+            timed_out, arrived, ..
+        } = fs;
+        self.faulty_core(
+            plan, payload, fault, fplan, entry, net, seed, label, rep, scratch, timed_out, arrived,
+            report,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn faulty_core(
+        &self,
+        plan: &CompiledPattern,
+        payload: &PayloadSchedule,
+        fault: &FaultModel,
+        fplan: &FaultPlan,
+        entry: &[f64],
+        net: &mut NetState,
+        seed: u64,
+        label: u64,
+        rep: u64,
+        scratch: &mut SimScratch,
+        timed_out: &mut Vec<bool>,
+        arrived: &mut Vec<usize>,
+        report: &mut FaultReport,
+    ) {
         let p = plan.p();
         assert_eq!(entry.len(), p, "entry vector length");
         assert_eq!(self.placement.nprocs(), p, "placement process count");
-        let nodes = self.placement.shape().nodes();
-        let fplan = FaultPlan::realize(fault, p, nodes, seed, rep);
+        assert_eq!(fplan.crash_time.len(), p, "fault plan rank count");
         let mut drops = DropStream::new(seed, rep);
         let mut jit = std::mem::take(&mut scratch.jitter);
         jit.fill(
@@ -157,23 +330,15 @@ impl BarrierSim<'_> {
         {
             *c = e + d;
         }
-        let mut report = FaultReport::new(p);
-        let mut timed_out = vec![false; p];
-        let mut arrived = vec![0usize; p];
+        report.reset(p);
+        timed_out.clear();
+        timed_out.resize(p, false);
+        arrived.clear();
+        arrived.resize(p, 0);
         for s in 0..plan.stages() {
             self.run_stage_faulty(
-                plan,
-                payload,
-                s,
-                fault,
-                &fplan,
-                &mut drops,
-                net,
-                &mut jit,
-                scratch,
-                &mut report,
-                &mut timed_out,
-                &mut arrived,
+                plan, payload, s, fault, fplan, &mut drops, net, &mut jit, scratch, report,
+                timed_out, arrived,
             );
             std::mem::swap(&mut scratch.cur, &mut scratch.nxt);
         }
@@ -196,7 +361,6 @@ impl BarrierSim<'_> {
             "faulty executor consumed a different jitter-draw count than the plan reports"
         );
         scratch.jitter = jit;
-        report
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -298,6 +462,11 @@ impl BarrierSim<'_> {
     /// is bit-identical to a lone [`BarrierSim::run_once_faulty`] at
     /// `rep = r` — grouping into workers is invisible, exactly like the
     /// lane batching of the healthy `measure`.
+    /// # Panics
+    ///
+    /// Panics when `fault` fails [`FaultModel::checked`], naming the
+    /// offending knob — a sweep over user-supplied models dies at entry
+    /// with a clear message instead of misbehaving mid-run.
     pub fn measure_faulty(
         &self,
         plan: &CompiledPattern,
@@ -306,6 +475,9 @@ impl BarrierSim<'_> {
         reps: usize,
         seed: u64,
     ) -> Vec<FaultReport> {
+        if let Err(e) = fault.checked() {
+            panic!("measure_faulty: invalid FaultModel: {e}");
+        }
         let zeros = vec![0.0; plan.p()];
         hpm_par::par_map_indexed_with(
             reps,
@@ -313,11 +485,13 @@ impl BarrierSim<'_> {
                 (
                     SimScratch::new(self.placement),
                     NetState::new(self.placement),
+                    FaultScratch::new(),
                 )
             },
-            |(scratch, net), r| {
+            |(scratch, net, fs), r| {
                 net.reset();
-                self.run_once_faulty(
+                let mut report = FaultReport::new(plan.p());
+                self.run_once_faulty_into(
                     plan,
                     payload,
                     fault,
@@ -327,7 +501,10 @@ impl BarrierSim<'_> {
                     crate::barrier::BARRIER_JITTER_LABEL,
                     r as u64,
                     scratch,
-                )
+                    fs,
+                    &mut report,
+                );
+                report
             },
         )
     }

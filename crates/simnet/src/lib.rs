@@ -28,6 +28,11 @@
 //! resolver ([`exchange`]) used by the BSPlib runtime to model overlapped
 //! one-sided communication.
 
+//! The recovery layer ([`recovery`]) closes the fault loop: when the
+//! faulty executor reports crashed ranks, survivors detect, agree, and
+//! finish the collective over a survivor re-plan — see DESIGN.md, "The
+//! recovery layer".
+
 pub mod barrier;
 pub mod batch;
 pub mod exchange;
@@ -35,6 +40,7 @@ pub mod faults;
 pub mod microbench;
 pub mod net;
 pub mod params;
+pub mod recovery;
 
 pub use barrier::{BarrierMeasurement, BarrierSim, SimScratch};
 pub use batch::LaneScratch;
@@ -42,10 +48,11 @@ pub use exchange::{
     exchange_jitter_draws, resolve_exchange, resolve_exchange_into, ExchangeMsg, ExchangeResult,
     ExchangeScratch,
 };
-pub use faults::{fault_drop_draws, FaultReport, RankOutcome};
+pub use faults::{fault_drop_draws, FaultReport, FaultScratch, RankOutcome};
 pub use microbench::{
     bench_platform, bench_platform_classes, ClassCosts, ClassProfile, MicrobenchConfig,
     PlatformProfile,
 };
 pub use net::{FaultyTransfer, NetState, SignalFate};
 pub use params::{LinkCost, PlatformParams};
+pub use recovery::{consensus_cost, RecoveryReport, RecoveryScratch, RECOVERY_JITTER_LABEL};

@@ -61,6 +61,49 @@ impl DropProb {
     }
 }
 
+/// Why a [`FaultModel`] failed validation — one variant per knob class,
+/// carrying the offending field name and value so sweep drivers can
+/// surface exactly which configuration entry is bad instead of
+/// panicking mid-run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultModelError {
+    /// A probability knob outside `[0, 1)`.
+    ProbabilityOutOfRange { field: &'static str, value: f64 },
+    /// A multiplier knob below 1 (faults slow things down, never speed
+    /// them up).
+    MultiplierBelowOne { field: &'static str, value: f64 },
+    /// A duration knob below 0.
+    NegativeDuration { field: &'static str, value: f64 },
+    /// The retry timeout is not strictly positive.
+    NonPositiveTimeout { value: f64 },
+    /// The exponential backoff factor is below 1.
+    BackoffBelowOne { value: f64 },
+}
+
+impl std::fmt::Display for FaultModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultModelError::ProbabilityOutOfRange { field, value } => {
+                write!(f, "{field} must be in [0,1), got {value}")
+            }
+            FaultModelError::MultiplierBelowOne { field, value } => {
+                write!(f, "{field} must be >= 1, got {value}")
+            }
+            FaultModelError::NegativeDuration { field, value } => {
+                write!(f, "{field} must be >= 0, got {value}")
+            }
+            FaultModelError::NonPositiveTimeout { value } => {
+                write!(f, "timeout must be positive, got {value}")
+            }
+            FaultModelError::BackoffBelowOne { value } => {
+                write!(f, "backoff must be >= 1, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultModelError {}
+
 /// The fault configuration: what *can* go wrong and how often.
 ///
 /// All knobs at their [`FaultModel::NONE`] values make every realized
@@ -129,27 +172,59 @@ impl FaultModel {
             && self.straggler_prob == 0.0
     }
 
-    /// Validates the knob ranges (probabilities in [0,1], multipliers
-    /// ≥ 1, positive timeout/backoff). Call once per configuration.
-    pub fn validate(&self) {
-        for (name, p) in [
+    /// Validates the knob ranges (probabilities in [0,1), multipliers
+    /// ≥ 1, positive timeout/backoff) without panicking — the entry
+    /// points that accept user-supplied configurations (`run_spmd`, the
+    /// faulty/recovering measurement loops) call this so a bad model
+    /// fails with a structured, clearly worded error instead of silently
+    /// misbehaving mid-sweep.
+    pub fn checked(&self) -> Result<(), FaultModelError> {
+        for (field, value) in [
             ("drop.local", self.drop.local),
             ("drop.remote", self.drop.remote),
             ("degraded_prob", self.degraded_prob),
             ("slow_prob", self.slow_prob),
             ("straggler_prob", self.straggler_prob),
         ] {
-            assert!(
-                (0.0..=1.0).contains(&p) && p < 1.0,
-                "{name} must be in [0,1), got {p}"
-            );
+            if !(0.0..1.0).contains(&value) {
+                return Err(FaultModelError::ProbabilityOutOfRange { field, value });
+            }
         }
-        assert!(self.degraded_mult >= 1.0, "degraded_mult must be >= 1");
-        assert!(self.slow_mult >= 1.0, "slow_mult must be >= 1");
-        assert!(self.crash_window >= 0.0, "crash_window must be >= 0");
-        assert!(self.straggler_scale >= 0.0, "straggler_scale must be >= 0");
-        assert!(self.timeout > 0.0, "timeout must be positive");
-        assert!(self.backoff >= 1.0, "backoff must be >= 1");
+        for (field, value) in [
+            ("degraded_mult", self.degraded_mult),
+            ("slow_mult", self.slow_mult),
+        ] {
+            if !(1.0..).contains(&value) {
+                return Err(FaultModelError::MultiplierBelowOne { field, value });
+            }
+        }
+        for (field, value) in [
+            ("crash_window", self.crash_window),
+            ("straggler_scale", self.straggler_scale),
+        ] {
+            if !(0.0..).contains(&value) {
+                return Err(FaultModelError::NegativeDuration { field, value });
+            }
+        }
+        if self.timeout.is_nan() || self.timeout <= 0.0 {
+            return Err(FaultModelError::NonPositiveTimeout {
+                value: self.timeout,
+            });
+        }
+        if !(1.0..).contains(&self.backoff) {
+            return Err(FaultModelError::BackoffBelowOne {
+                value: self.backoff,
+            });
+        }
+        Ok(())
+    }
+
+    /// Panicking twin of [`FaultModel::checked`] for call sites whose
+    /// models are authored in code, where a bad knob is a bug.
+    pub fn validate(&self) {
+        if let Err(e) = self.checked() {
+            panic!("invalid FaultModel: {e}");
+        }
     }
 
     /// Plan-stream draws consumed by [`FaultPlan::realize`] for `p`
@@ -163,23 +238,37 @@ impl FaultModel {
         2 * self.crash_count.min(p) + 2 * nodes + 2 * p
     }
 
+    /// Backed-off windows summed beyond this many waits contribute
+    /// nothing new at f64 precision for any sane timeout (with the
+    /// minimal backoff of 2 the 64th window is already 2⁶³ timeouts), so
+    /// [`FaultModel::retry_delay`] saturates here: the loop stays O(1)
+    /// for adversarially large retry caps and the unguarded geometric
+    /// growth can no longer overflow a total to `inf` and poison every
+    /// downstream mean.
+    pub const MAX_BACKOFF_STEPS: u32 = 64;
+
     /// The added latency of `attempts − 1` retransmissions: the sender
     /// burns the full (exponentially backed-off) timeout of every
-    /// failed attempt before the one that lands.
+    /// failed attempt before the one that lands. Saturates after
+    /// [`FaultModel::MAX_BACKOFF_STEPS`] windows and clamps the sum to
+    /// `f64::MAX`, so the result is finite for every attempt count —
+    /// large retry caps inflate totals, they never `inf`-poison them.
     pub fn retry_delay(&self, attempts: u32) -> f64 {
+        let steps = attempts.saturating_sub(1).min(Self::MAX_BACKOFF_STEPS);
         let mut delay = 0.0;
         let mut window = self.timeout;
-        for _ in 1..attempts {
+        for _ in 0..steps {
             delay += window;
             window *= self.backoff;
         }
-        delay
+        delay.min(f64::MAX)
     }
 
     /// The full retry budget: time burned when every attempt fails and
-    /// the signal is declared lost (`max_retries + 1` windows).
+    /// the signal is declared lost (`max_retries + 1` windows; the
+    /// addition saturates so a `u32::MAX` retry cap is legal).
     pub fn loss_delay(&self) -> f64 {
-        self.retry_delay(self.max_retries + 2)
+        self.retry_delay(self.max_retries.saturating_add(2))
     }
 }
 
@@ -265,10 +354,37 @@ impl FaultPlan {
     /// [`FaultModel::plan_draws`] exactly. A [`FaultModel::is_none`]
     /// model short-circuits to [`FaultPlan::neutral`] without touching
     /// the stream.
+    ///
+    /// One-shot convenience over [`FaultPlan::realize_into`], which
+    /// repetition loops use to reuse one plan's buffers.
     pub fn realize(model: &FaultModel, p: usize, nodes: usize, seed: u64, rep: u64) -> FaultPlan {
         let mut plan = FaultPlan::neutral(p, nodes);
+        plan.realize_into(model, p, nodes, seed, rep);
+        plan
+    }
+
+    /// In-place twin of [`FaultPlan::realize`]: resets this plan to
+    /// neutral (resizing its buffers when the machine shape changed) and
+    /// realizes `model` into it — same streams, same draw order, same
+    /// bits, zero heap allocations once the buffers are sized.
+    pub fn realize_into(
+        &mut self,
+        model: &FaultModel,
+        p: usize,
+        nodes: usize,
+        seed: u64,
+        rep: u64,
+    ) {
+        self.crash_time.clear();
+        self.crash_time.resize(p, f64::INFINITY);
+        self.node_slow.clear();
+        self.node_slow.resize(nodes, 1.0);
+        self.node_degraded.clear();
+        self.node_degraded.resize(nodes, 1.0);
+        self.straggler_delay.clear();
+        self.straggler_delay.resize(p, 0.0);
         if model.is_none() {
-            return plan;
+            return;
         }
         let mut s = SplitMix64::from_parts(seed, FAULT_LABEL, rep);
         // Crash set: k draws mapped onto ranks, collisions resolved by
@@ -276,13 +392,13 @@ impl FaultPlan {
         let k = model.crash_count.min(p);
         for _ in 0..k {
             let mut r = (s.next_u64() % p as u64) as usize;
-            while plan.crash_time[r] < f64::INFINITY {
+            while self.crash_time[r] < f64::INFINITY {
                 r = (r + 1) % p;
             }
-            plan.crash_time[r] = 0.0; // marked; time assigned below
+            self.crash_time[r] = 0.0; // marked; time assigned below
         }
         // Crash times, in rank order so the assignment is deterministic.
-        for t in plan.crash_time.iter_mut() {
+        for t in self.crash_time.iter_mut() {
             if *t < f64::INFINITY {
                 *t = s.next_unit_open() * model.crash_window;
             }
@@ -293,10 +409,10 @@ impl FaultPlan {
             let u_slow = s.next_unit_open();
             let u_deg = s.next_unit_open();
             if u_slow < model.slow_prob {
-                plan.node_slow[n] = model.slow_mult;
+                self.node_slow[n] = model.slow_mult;
             }
             if u_deg < model.degraded_prob {
-                plan.node_degraded[n] = model.degraded_mult;
+                self.node_degraded[n] = model.degraded_mult;
             }
         }
         // Per-rank stragglers: gate and Pareto magnitude, both always
@@ -306,7 +422,7 @@ impl FaultPlan {
         } else {
             None
         };
-        for d in plan.straggler_delay.iter_mut() {
+        for d in self.straggler_delay.iter_mut() {
             let u_gate = s.next_unit_open();
             let u_mag = s.next_unit_open();
             if let Some(tab) = &pareto {
@@ -314,6 +430,22 @@ impl FaultPlan {
                     *d = model.straggler_scale * tab.mult(u_mag);
                 }
             }
+        }
+    }
+
+    /// A neutral plan with the given ranks force-crashed at time 0 — the
+    /// deterministic "what if exactly this set fails" scenario the
+    /// recovery sweep replays against every registry crash set, with no
+    /// stream draws at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a rank is out of range.
+    pub fn with_crashes(p: usize, nodes: usize, crashed: &[usize]) -> FaultPlan {
+        let mut plan = FaultPlan::neutral(p, nodes);
+        for &r in crashed {
+            assert!(r < p, "crashed rank {r} out of range for p={p}");
+            plan.crash_time[r] = 0.0;
         }
         plan
     }
@@ -324,11 +456,20 @@ impl FaultPlan {
         t >= self.crash_time[rank]
     }
 
-    /// Ranks that crash at any time in this repetition.
+    /// Ranks that crash at any time in this repetition, ascending —
+    /// allocation-free; the repetition loops' variant of
+    /// [`FaultPlan::crashed_ranks`].
+    pub fn crashed_ranks_iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.crash_time
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t < f64::INFINITY)
+            .map(|(r, _)| r)
+    }
+
+    /// Ranks that crash at any time in this repetition, collected.
     pub fn crashed_ranks(&self) -> Vec<usize> {
-        (0..self.crash_time.len())
-            .filter(|&r| self.crash_time[r] < f64::INFINITY)
-            .collect()
+        self.crashed_ranks_iter().collect()
     }
 
     /// Wire-time multiplier of a signal between two nodes: the worse of
@@ -473,6 +614,116 @@ mod tests {
         assert_eq!(m.retry_delay(4), 7.0);
         // Loss burns all max_retries + 1 windows: 1 + 2 + 4 + 8.
         assert_eq!(m.loss_delay(), 15.0);
+    }
+
+    /// The backoff saturation point: attempts beyond
+    /// `MAX_BACKOFF_STEPS + 1` add nothing, the value stays finite for
+    /// any attempt count, and the pinned small-attempt values are
+    /// untouched by the clamp.
+    #[test]
+    fn retry_delay_saturates_finite() {
+        let m = FaultModel {
+            timeout: 1.0,
+            backoff: 2.0,
+            max_retries: 3,
+            ..FaultModel::NONE
+        };
+        let cap = FaultModel::MAX_BACKOFF_STEPS;
+        let at_cap = m.retry_delay(cap + 1);
+        assert!(at_cap.is_finite());
+        // 2^64 − 1 at timeout 1, backoff 2.
+        assert_eq!(at_cap, 2f64.powi(64) - 1.0);
+        assert_eq!(m.retry_delay(cap + 2), at_cap, "saturation point");
+        assert_eq!(m.retry_delay(u32::MAX), at_cap);
+        // An adversarial model that used to overflow to inf in a handful
+        // of windows now clamps to f64::MAX.
+        let nasty = FaultModel {
+            timeout: 1e308,
+            backoff: 10.0,
+            max_retries: u32::MAX,
+            ..FaultModel::NONE
+        };
+        assert!(nasty.retry_delay(u32::MAX).is_finite());
+        assert!(nasty.loss_delay().is_finite(), "u32::MAX cap may not wrap");
+    }
+
+    #[test]
+    fn checked_reports_structured_errors() {
+        assert_eq!(FaultModel::NONE.checked(), Ok(()));
+        assert_eq!(faulty_model().checked(), Ok(()));
+        let bad_prob = FaultModel {
+            drop: DropProb::uniform(1.0),
+            ..FaultModel::NONE
+        };
+        let err = bad_prob.checked().expect_err("certain drop is invalid");
+        assert_eq!(
+            err,
+            FaultModelError::ProbabilityOutOfRange {
+                field: "drop.local",
+                value: 1.0
+            }
+        );
+        assert_eq!(err.to_string(), "drop.local must be in [0,1), got 1");
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(boxed.to_string().contains("drop.local"));
+        let bad_timeout = FaultModel {
+            timeout: 0.0,
+            ..FaultModel::NONE
+        };
+        assert_eq!(
+            bad_timeout.checked(),
+            Err(FaultModelError::NonPositiveTimeout { value: 0.0 })
+        );
+        let bad_backoff = FaultModel {
+            backoff: 0.5,
+            ..FaultModel::NONE
+        };
+        assert_eq!(
+            bad_backoff.checked(),
+            Err(FaultModelError::BackoffBelowOne { value: 0.5 })
+        );
+        let nan_mult = FaultModel {
+            slow_mult: f64::NAN,
+            ..FaultModel::NONE
+        };
+        assert!(matches!(
+            nan_mult.checked(),
+            Err(FaultModelError::MultiplierBelowOne {
+                field: "slow_mult",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn realize_into_matches_realize_bitwise_and_resizes() {
+        let m = faulty_model();
+        let mut plan = FaultPlan::neutral(1, 1);
+        plan.realize_into(&m, 32, 8, 7, 5);
+        assert_eq!(plan, FaultPlan::realize(&m, 32, 8, 7, 5));
+        // Reuse across shapes and models, including back to neutral.
+        plan.realize_into(&FaultModel::NONE, 16, 4, 7, 5);
+        assert_eq!(plan, FaultPlan::neutral(16, 4));
+    }
+
+    #[test]
+    fn crashed_ranks_iter_matches_collected() {
+        let m = faulty_model();
+        let plan = FaultPlan::realize(&m, 32, 8, 11, 3);
+        assert_eq!(
+            plan.crashed_ranks_iter().collect::<Vec<_>>(),
+            plan.crashed_ranks()
+        );
+    }
+
+    #[test]
+    fn with_crashes_forces_exactly_the_given_set() {
+        let plan = FaultPlan::with_crashes(8, 2, &[1, 6]);
+        assert_eq!(plan.crashed_ranks(), vec![1, 6]);
+        assert!(plan.crashed_at(1, 0.0) && plan.crashed_at(6, 0.0));
+        assert!(!plan.crashed_at(0, f64::MAX));
+        assert!(!plan.is_neutral());
+        assert!(FaultPlan::with_crashes(4, 1, &[]).is_neutral());
     }
 
     #[test]
